@@ -1,0 +1,107 @@
+"""Complexity-bound benches: measured scaling vs the paper's asymptotics.
+
+* lookup hops and per-node state ~ O(log N) for all three overlays;
+* LDT advertisement depth ~ O(log_k log N);
+* §3 eq. (1): the 50% knee in clustered-naming resolutions.
+"""
+
+import pytest
+
+from repro.experiments import run_eq1_check, run_hop_scaling, run_ldt_depth_scaling
+
+
+@pytest.mark.parametrize("overlay", ["chord", "pastry", "tornado"])
+def test_hop_and_state_scaling(benchmark, record_table, overlay, paper_scale):
+    sizes = (128, 256, 512, 1024, 2048, 4096) if paper_scale else (128, 512, 2048)
+    table = benchmark.pedantic(
+        lambda: run_hop_scaling(overlay, sizes=sizes), rounds=1, iterations=1
+    )
+    record_table(f"bounds_hops_{overlay}", table)
+    ratios = table.column("hops/log2 N")
+    assert max(ratios) / min(ratios) < 2.0
+
+
+def test_ldt_depth_scaling(benchmark, record_table):
+    table = benchmark.pedantic(run_ldt_depth_scaling, rounds=1, iterations=1)
+    record_table("bounds_ldt_depth", table)
+    for row in table.rows:
+        assert row["mean depth"] <= row["bound log_k(log N)"] + 2.0
+
+
+def test_eq1_clustered_knee(benchmark, record_table, paper_scale):
+    kwargs = dict(num_stationary=600, routes=1500) if paper_scale else {}
+    table = benchmark.pedantic(
+        lambda: run_eq1_check(**kwargs), rounds=1, iterations=1
+    )
+    record_table("bounds_eq1", table)
+    col = table.column("routes w/ resolution (%)")
+    # Below the 50% knee clustered routes are (almost) resolution-free.
+    assert col[0] < 15.0
+    assert col[-1] > col[0]
+
+
+def test_can_polynomial_vs_log_overlays(benchmark, record_table):
+    """§2.3.2's CAN contrast: polynomial O(D·N^(1/D)) hops and constant
+    state vs the logarithmic overlays."""
+
+    def run():
+        return {
+            "can": run_hop_scaling("can", sizes=(128, 512, 2048), routes_per_size=150),
+            "chord": run_hop_scaling("chord", sizes=(128, 512, 2048), routes_per_size=150),
+        }
+
+    tables = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table("bounds_hops_can", tables["can"])
+    can_hops = tables["can"].column("mean hops")
+    chord_hops = tables["chord"].column("mean hops")
+    # 16× more nodes: CAN hops grow ≥2.5×, Chord's well under 2×.
+    assert can_hops[-1] / can_hops[0] > 2.5
+    assert chord_hops[-1] / chord_hops[0] < 2.0
+    # CAN state stays ~constant while N grows 16×.
+    can_state = tables["can"].column("mean state")
+    assert can_state[-1] < can_state[0] * 1.5
+
+
+def test_join_message_bound(benchmark, record_table):
+    """§2.3.3: a Figure-5 join costs ≤ 2·O(log N) messages."""
+    import math
+
+    import numpy as np
+
+    from repro.core import BristleConfig, BristleNetwork
+    from repro.core.join import figure5_join
+    from repro.experiments import ResultTable
+
+    def run():
+        table = ResultTable(
+            title="Bound check — Figure-5 join message cost",
+            columns=["N", "mean messages", "2·log2 N", "mean state size"],
+            notes=["10 protocol joins per size; bootstrap random"],
+        )
+        for n in (100, 400, 1600):
+            cfg = BristleConfig(seed=71, naming="scrambled")
+            net = BristleNetwork(
+                cfg, num_stationary=n // 2, num_mobile=n // 2, router_count=150
+            )
+            msgs, states = [], []
+            for trial in range(10):
+                key = 5 + trial
+                while key in net.nodes:
+                    key += 1
+                rep = figure5_join(net, key)
+                msgs.append(rep.messages)
+                states.append(rep.state_size)
+            table.add_row(
+                **{
+                    "N": n,
+                    "mean messages": float(np.mean(msgs)),
+                    "2·log2 N": 2 * math.log2(n),
+                    "mean state size": float(np.mean(states)),
+                }
+            )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table("bounds_join", table)
+    for row in table.rows:
+        assert row["mean messages"] <= 3 * row["2·log2 N"]

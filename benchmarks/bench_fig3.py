@@ -1,0 +1,51 @@
+"""Figure 3 bench: responsibility of member-only vs non-member-only LDTs.
+
+Regenerates the paper's analytic curves at N = 1,048,576 and the measured
+member-only counterpart; prints the same series Figure 3 plots.
+"""
+
+import pytest
+
+from repro.experiments import run_fig3, run_fig3_empirical
+
+
+def test_fig3_analytic(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_fig3(num_nodes=1_048_576), rounds=1, iterations=1
+    )
+    record_table("fig3_analytic", table)
+    # Shape assertions (the bench doubles as a regression gate).
+    ratios = table.column("ratio")
+    assert all(r == pytest.approx(20.0) for r in ratios)
+
+
+def test_fig3_empirical(benchmark, record_table, paper_scale):
+    num_stationary = 400 if paper_scale else 150
+    table = benchmark.pedantic(
+        lambda: run_fig3_empirical(num_stationary=num_stationary),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("fig3_empirical", table)
+    measured = table.column("measured/node")
+    assert measured == sorted(measured)  # grows with M/N
+
+
+def test_fig3_tree_sizes(benchmark, record_table, paper_scale):
+    """Both tree kinds actually built: S(τ) and responsibility measured."""
+    from repro.experiments import run_fig3_tree_sizes
+
+    num_stationary = 300 if paper_scale else 150
+    table = benchmark.pedantic(
+        lambda: run_fig3_tree_sizes(num_stationary=num_stationary),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("fig3_tree_sizes", table)
+    for row in table.rows:
+        # Non-member trees always recruit extra nodes and cost more.
+        assert row["non-member tree size"] > row["member tree size"]
+        assert row["resp ratio"] > 1.5
+    # The gap widens with M/N (the Figure-3 divergence).
+    ratios = table.column("resp ratio")
+    assert ratios[-1] > ratios[0]

@@ -1,0 +1,49 @@
+"""Figure 7 bench: scrambled vs clustered naming — hops, path cost, RDP.
+
+Default scale: 500 stationary nodes / 2,000 routes (shape-preserving).
+``--paper-scale``: the paper's 2,000 stationary / 10,000 routes sweep.
+"""
+
+import pytest
+
+from repro.experiments import Fig7Params, run_fig7
+
+
+def _params(paper_scale: bool) -> Fig7Params:
+    if paper_scale:
+        return Fig7Params.paper_scale()
+    return Fig7Params()
+
+
+def test_fig7_naming_sweep(benchmark, record_table, record_chart, paper_scale):
+    table = benchmark.pedantic(
+        lambda: run_fig7(_params(paper_scale)), rounds=1, iterations=1
+    )
+    record_table("fig7_naming", table)
+    record_chart(
+        "fig7_naming", table, x="M/N (%)",
+        series=["hops scrambled", "hops clustered"],
+    )
+    # Paper shape: clustered superior, RDP grows with M/N.
+    last = table.rows[-1]
+    assert last["hops clustered"] < last["hops scrambled"]
+    assert last["RDP hops"] > 1.3
+    first = table.rows[0]
+    assert first["RDP hops"] == pytest.approx(1.0, abs=0.2)
+
+
+def test_fig7_prefer_resolved_ablation(benchmark, record_table, paper_scale):
+    """Ablation: §3's prefer-resolved routing policy sharpens the 50%
+    knee (clustered routes need ~no resolutions below it)."""
+    params = Fig7Params(
+        num_stationary=2000 if paper_scale else 400,
+        routes=10000 if paper_scale else 1200,
+        router_count=2600 if paper_scale else 500,
+        fractions=(0.2, 0.4, 0.5, 0.6, 0.8),
+        routing_policy="prefer_resolved",
+    )
+    table = benchmark.pedantic(lambda: run_fig7(params), rounds=1, iterations=1)
+    record_table("fig7_prefer_resolved", table)
+    below = table.row_where("M/N (%)", 40.0)["res clustered"]
+    above = table.row_where("M/N (%)", 80.0)["res clustered"]
+    assert below < above

@@ -1,0 +1,47 @@
+"""Figure 8 bench: LDT structure vs capacity (8a) and heterogeneity /
+load balance in sampled trees (8b)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import Fig8Params, run_fig8a, run_fig8b
+
+
+def test_fig8a_structure(benchmark, record_table, paper_scale):
+    params = Fig8Params.paper_scale() if paper_scale else Fig8Params()
+    table = benchmark.pedantic(lambda: run_fig8a(params), rounds=1, iterations=1)
+    record_table("fig8a_structure", table)
+    # MAX = 1 degenerates to a chain of depth = registry size; MAX = 15
+    # flattens to ~2 levels.
+    assert table.row_where("MAX", 1)["max depth"] == params.registry_size
+    assert table.row_where("MAX", 15)["mean depth"] <= 2.5
+
+
+def test_fig8b_heterogeneity(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_fig8b(num_trees=15, registry_size=15, max_capacity=15),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("fig8b_heterogeneity", table)
+    # Super-nodes carry the forwarding subsets.
+    by_tree = {}
+    for row in table.rows:
+        by_tree.setdefault(row["tree"], []).append(row)
+    top_mean = np.mean(
+        [r["nodes assigned"] for rows in by_tree.values() for r in rows[:5]]
+    )
+    bottom_mean = np.mean(
+        [r["nodes assigned"] for rows in by_tree.values() for r in rows[-5:]]
+    )
+    assert top_mean > bottom_mean
+
+
+def test_fig8_workload_sweep(benchmark, record_table):
+    """§4.2's workload sentence, swept: loaded trees deepen to chains."""
+    from repro.experiments import run_fig8_workload
+
+    table = benchmark.pedantic(run_fig8_workload, rounds=1, iterations=1)
+    record_table("fig8_workload", table)
+    depths = table.column("mean depth")
+    assert depths == sorted(depths)

@@ -1,0 +1,23 @@
+"""Figure 9 bench: LDT advertisement cost with vs without network
+locality as the Bristle population grows into the underlay."""
+
+import pytest
+
+from repro.experiments import Fig9Params, run_fig9
+
+
+def test_fig9_locality(benchmark, record_table, record_chart, paper_scale):
+    params = Fig9Params.paper_scale() if paper_scale else Fig9Params()
+    table = benchmark.pedantic(lambda: run_fig9(params), rounds=1, iterations=1)
+    record_table("fig9_locality", table)
+    record_chart(
+        "fig9_locality", table, x="M/N (%)",
+        series=["with locality", "without locality"],
+    )
+    # Paper shape: locality cheaper everywhere; improves with density;
+    # random registration stays flat and expensive.
+    with_loc = table.column("with locality")
+    without = table.column("without locality")
+    assert all(a < b for a, b in zip(with_loc, without))
+    assert with_loc[-1] < with_loc[0]
+    assert max(without) / min(without) < 1.6

@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the hot substrate paths.
+
+These use pytest-benchmark's statistical timing (many rounds) — they are
+the profiling probes the hpc-parallel guide asks for, and they guard
+against performance regressions in the inner loops the experiment sweeps
+depend on (Dijkstra, overlay routing, LDT construction, event dispatch).
+"""
+
+import pytest
+
+from repro.core import LDTMember, build_ldt
+from repro.net import PathOracle, TransitStubParams, generate_transit_stub
+from repro.net.shortest_path import dijkstra_csr
+from repro.overlay import ChordOverlay, KeySpace, PastryOverlay
+from repro.sim import Engine, RngStreams
+
+
+@pytest.fixture(scope="module")
+def topo():
+    params = TransitStubParams(
+        num_transit_domains=4,
+        transit_nodes_per_domain=4,
+        stub_domains_per_transit=3,
+        stub_nodes_per_domain=10,
+    )
+    return generate_transit_stub(params, RngStreams(3))
+
+
+@pytest.fixture(scope="module")
+def chord_1k():
+    space = KeySpace()
+    keys = [int(k) for k in space.random_keys(RngStreams(4), "k", 1024)]
+    ov = ChordOverlay(space)
+    ov.build(keys)
+    return ov, keys, space
+
+
+def test_dijkstra_pure_python(benchmark, topo):
+    benchmark(dijkstra_csr, topo.graph, 0)
+
+
+def test_dijkstra_scipy_oracle(benchmark, topo):
+    def run():
+        oracle = PathOracle(topo.graph)  # fresh cache each round
+        return oracle.distances_from(0)
+
+    benchmark(run)
+
+
+def test_oracle_cached_distance(benchmark, topo):
+    oracle = PathOracle(topo.graph)
+    oracle.distances_from(0)
+
+    benchmark(oracle.distance, 0, topo.num_routers - 1)
+
+
+def test_chord_route(benchmark, chord_1k):
+    ov, keys, space = chord_1k
+    benchmark(ov.route, keys[0], keys[700])
+
+
+def test_chord_build_1k(benchmark):
+    space = KeySpace()
+    keys = [int(k) for k in space.random_keys(RngStreams(5), "k", 1024)]
+
+    def build():
+        ov = ChordOverlay(space)
+        ov.build(keys)
+        return ov
+
+    benchmark(build)
+
+
+def test_pastry_route(benchmark):
+    space = KeySpace()
+    keys = [int(k) for k in space.random_keys(RngStreams(6), "k", 512)]
+    ov = PastryOverlay(space)
+    ov.build(keys)
+    benchmark(ov.route, keys[0], keys[400])
+
+
+def test_ldt_build_15(benchmark):
+    members = [LDTMember(key=i + 1, capacity=float(1 + i % 15)) for i in range(15)]
+    root = LDTMember(key=0, capacity=8.0)
+    benchmark(build_ldt, root, members)
+
+
+def test_engine_dispatch_10k(benchmark):
+    def run():
+        eng = Engine()
+        for i in range(10_000):
+            eng.schedule(float(i % 97), lambda: None)
+        eng.run()
+        return eng.dispatched
+
+    result = benchmark(run)
+    assert result == 10_000
+
+
+def test_transit_stub_generation(benchmark):
+    params = TransitStubParams()
+    benchmark(lambda: generate_transit_stub(params, RngStreams(9)))

@@ -1,0 +1,28 @@
+"""Table 1 bench: Type A vs Type B vs Bristle, measured on one shared
+workload (end-to-end semantics, path cost, maintenance, reliability,
+load)."""
+
+import pytest
+
+from repro.experiments import Table1Params, run_table1
+
+
+def test_table1_comparison(benchmark, record_table, paper_scale):
+    params = (
+        Table1Params(num_stationary=500, num_mobile=500, lookups=2000)
+        if paper_scale
+        else Table1Params()
+    )
+    table = benchmark.pedantic(lambda: run_table1(params), rounds=1, iterations=1)
+    record_table("table1_comparison", table)
+
+    a = table.row_where("architecture", "Type A")
+    b = table.row_where("architecture", "Type B")
+    br = table.row_where("architecture", "Bristle")
+    # Paper's qualitative rows, measured:
+    assert a["end-to-end delivery"] == 0.0          # Type A: "No"
+    assert br["end-to-end delivery"] == 1.0         # Bristle: "Transparent"
+    assert br["delivery w/ 20% infra failure"] == 1.0   # reliability: Good
+    assert b["delivery w/ 20% infra failure"] < 0.9     # Type B: Poor
+    assert br["warm path cost"] < b["warm path cost"]   # performance: Good vs Poor
+    assert a["messages/move"] > br["messages/move"] / 2  # Type A pays rejoin

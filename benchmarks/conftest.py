@@ -1,0 +1,61 @@
+"""Benchmark-harness plumbing.
+
+Every figure/table bench renders its :class:`ResultTable` to stdout *and*
+to ``benchmarks/results/<name>.txt`` so the reproduced series survive
+pytest's output capture.  ``--paper-scale`` switches the sweeps to the
+paper's full sizes (slower; default is a shape-preserving reduction).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run the experiment benches at the paper's full sizes",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request) -> bool:
+    return bool(request.config.getoption("--paper-scale"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """Write a rendered ResultTable to the results directory and stdout."""
+
+    def _record(name: str, table) -> None:
+        text = table.render()
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _record
+
+
+@pytest.fixture
+def record_chart(results_dir):
+    """Write an ASCII chart of selected table series next to the table."""
+
+    def _record(name: str, table, x: str, series) -> None:
+        from repro.experiments import ascii_chart
+
+        text = ascii_chart(table, x=x, series=list(series))
+        (results_dir / f"{name}.chart.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _record

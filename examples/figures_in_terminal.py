@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Render the paper's figures as ASCII charts in the terminal.
+
+Runs scaled-down versions of Figures 3, 7 and 9 and draws their curves
+with `repro.experiments.ascii_chart` — the whole evaluation, no plotting
+stack required.
+
+Run:  python examples/figures_in_terminal.py
+"""
+
+from repro.experiments import (
+    Fig7Params,
+    Fig9Params,
+    ascii_bars,
+    ascii_chart,
+    run_fig3,
+    run_fig7,
+    run_fig9,
+)
+
+
+def main() -> None:
+    # --- Figure 3: the analytic responsibility curves -------------------
+    fig3 = run_fig3(fractions=tuple(round(0.1 * i, 1) for i in range(1, 10)))
+    print(ascii_chart(
+        fig3,
+        x="M/N (%)",
+        series=["member-only", "non-member-only"],
+        height=12,
+        title="Figure 3 — responsibility per stationary node (N = 2^20)",
+    ))
+    print()
+
+    # --- Figure 7(a): naming schemes --------------------------------------
+    fig7 = run_fig7(Fig7Params(
+        num_stationary=250, routes=500, router_count=300,
+        fractions=(0.0, 0.2, 0.4, 0.5, 0.6, 0.8),
+    ))
+    print(ascii_chart(
+        fig7,
+        x="M/N (%)",
+        series=["hops scrambled", "hops clustered"],
+        height=12,
+        title="Figure 7(a) — application-level hops per route",
+    ))
+    print()
+    print(ascii_bars(
+        fig7, label="M/N (%)", value="RDP hops", width=40,
+        title="Figure 7(b) — relative delay penalty (hops)",
+    ))
+    print()
+
+    # --- Figure 9: LDT locality -------------------------------------------
+    fig9 = run_fig9(Fig9Params(
+        num_stationary=80, router_count=300,
+        fractions=(0.2, 0.4, 0.6, 0.8, 0.9), trees_sampled=80,
+    ))
+    print(ascii_chart(
+        fig9,
+        x="M/N (%)",
+        series=["with locality", "without locality"],
+        height=12,
+        title="Figure 9 — average per-tree per-edge cost",
+    ))
+
+
+if __name__ == "__main__":
+    main()

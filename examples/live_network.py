@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""A live Bristle network under continuous mobility — the one-object API.
+
+``LiveSimulation`` bundles the network, event engine, timed protocol,
+mobility process and binding policy.  This example runs a roaming swarm
+for 300 virtual time units, sampling cache warmness and message budgets
+along the way, then issues discoveries against the moving population.
+
+Run:  python examples/live_network.py
+"""
+
+from repro.core import LiveSimulation
+
+
+def main() -> None:
+    sim = LiveSimulation.create(
+        num_stationary=80,
+        num_mobile=60,
+        seed=11,
+        registry_size=8,
+        move_rate=0.02,     # each mobile node moves ~once per 50 units
+        binding="early",
+    )
+    print(f"live network: {sim.net.num_nodes} nodes on "
+          f"{sim.net.topology.num_routers} routers, "
+          f"{len(sim.net.mobile_keys)} roaming\n")
+
+    print(f"{'time':>6} | {'moves':>5} | {'cache warm':>10} | "
+          f"{'adverts':>8} | {'refresh msgs':>12}")
+    print("-" * 55)
+    for t in (50, 100, 150, 200, 250, 300):
+        sim.run(until=float(t))
+        s = sim.summary()
+        print(f"{t:>6} | {int(s['moves']):>5} | {s['cache_warmness']:>9.0%} | "
+              f"{int(s.get('messages.advertise', 0)):>8} | "
+              f"{int(s['binding_messages']):>12}")
+
+    # Reactive discoveries against the moving population.
+    sim.stop()
+    hits = 0
+    rtts = []
+    done = []
+    for mk in sim.net.mobile_keys[:20]:
+        sim.protocol.discover(
+            sim.net.stationary_keys[0], mk, on_complete=done.append
+        )
+    sim.engine.run()
+    for ex in done:
+        if ex.address == sim.net.nodes[ex.target].address:
+            hits += 1
+        rtts.append(ex.rtt)
+    print(f"\ndiscoveries: {hits}/{len(done)} resolved to the current "
+          f"address, mean RTT {sum(rtts) / len(rtts):.3f} virtual units")
+    print("every node kept its hash key through "
+          f"{int(sim.summary()['moves'])} moves — end-to-end identity held.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Clustered vs scrambled naming — a miniature of the paper's Figure 7.
+
+Sweeps the mobile fraction M/N and reports, for both naming schemes, the
+mean application-level hops, the mean path cost and the relative delay
+penalty (RDP).  The clustered scheme (§3) should win everywhere mobility
+exists, with the gap widening as M/N grows.
+
+Run:  python examples/naming_comparison.py          # quick sweep
+      python examples/naming_comparison.py --full   # closer to the paper
+"""
+
+import sys
+
+from repro.experiments import Fig7Params, run_fig7
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    params = (
+        Fig7Params(num_stationary=1000, routes=4000, router_count=1200)
+        if full
+        else Fig7Params(
+            num_stationary=300,
+            routes=600,
+            router_count=300,
+            fractions=(0.0, 0.2, 0.4, 0.5, 0.6, 0.8),
+        )
+    )
+    table = run_fig7(params)
+    print(table.render(2))
+
+    print("\nreading the table:")
+    last = table.rows[-1]
+    first = table.rows[0]
+    print(f"  * with no mobility both schemes cost the same "
+          f"(RDP {first['RDP hops']:.2f})")
+    print(f"  * at M/N = {last['M/N (%)']:.0f}% the scrambled scheme pays "
+          f"{last['hops scrambled']:.1f} hops/route vs "
+          f"{last['hops clustered']:.1f} clustered — "
+          f"RDP {last['RDP hops']:.2f}")
+    print("  * the clustered advantage comes from address resolutions "
+          "avoided: compare the 'res' columns")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro — a reproduction of *Bristle: A Mobile Structured Peer-to-Peer
+Architecture* (Hsiao & King, IPDPS 2003).
+
+The package implements the paper's two-layer mobile HS-P2P architecture
+and every substrate it depends on:
+
+* :mod:`repro.sim` — deterministic discrete-event simulation engine;
+* :mod:`repro.net` — transit-stub underlay, shortest paths, placement;
+* :mod:`repro.overlay` — Chord / Pastry / Tornado HS-P2P substrates;
+* :mod:`repro.core` — Bristle itself: naming, routing with address
+  resolution, location management, LDTs, leases;
+* :mod:`repro.baselines` — the Type A and Type B architectures of Table 1;
+* :mod:`repro.workloads` — capacities, route samples, churn, scenarios;
+* :mod:`repro.experiments` — one harness per table/figure of §4.
+
+Quickstart::
+
+    from repro import BristleConfig, BristleNetwork, route_with_resolution
+
+    net = BristleNetwork(BristleConfig(seed=1), num_stationary=200, num_mobile=300)
+    net.setup_random_registrations()
+    report = net.move(net.mobile_keys[0])          # update + LDT advertisement
+    trace = route_with_resolution(net, net.stationary_keys[0], net.mobile_keys[0])
+    print(trace.app_hops, trace.path_cost, trace.resolutions)
+"""
+
+from .core import (
+    BristleConfig,
+    BristleNetwork,
+    DiscoveryResult,
+    MoveReport,
+    RouteTrace,
+    build_ldt,
+    route_with_resolution,
+)
+from .overlay import ChordOverlay, KeySpace, PastryOverlay, TornadoOverlay, make_overlay
+from .sim import Engine, RngStreams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BristleConfig",
+    "BristleNetwork",
+    "DiscoveryResult",
+    "MoveReport",
+    "RouteTrace",
+    "build_ldt",
+    "route_with_resolution",
+    "ChordOverlay",
+    "KeySpace",
+    "PastryOverlay",
+    "TornadoOverlay",
+    "make_overlay",
+    "Engine",
+    "RngStreams",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Baseline architectures Bristle is compared against (Table 1).
+
+Type A treats a move as leave-and-rejoin (breaking end-to-end semantics);
+Type B layers the HS-P2P over simulated Mobile IP (triangular routes and
+home-agent bottlenecks).
+"""
+
+from .type_a import TypeAHSP2P, TypeALookup, TypeAMoveReport
+from .type_b import TypeBLookup, TypeBMobileIPHSP2P
+
+__all__ = [
+    "TypeAHSP2P",
+    "TypeALookup",
+    "TypeAMoveReport",
+    "TypeBLookup",
+    "TypeBMobileIPHSP2P",
+]

@@ -1,0 +1,169 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show every reproducible experiment with its description.
+``run <name> [...]``
+    Run one or more experiments and print their tables
+    (``--scale quick|default|paper``, ``--out FILE`` to also save).
+``all``
+    Run the full evaluation report.
+``demo``
+    The quickstart scenario (build / move / route / discover).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments.report import EXPERIMENTS, render_report, run_all
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Bristle: A Mobile Structured "
+        "Peer-to-Peer Architecture' (IPDPS 2003)",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list reproducible experiments")
+
+    run_p = sub.add_parser("run", help="run named experiments")
+    run_p.add_argument("names", nargs="+", help="experiment names (see 'list')")
+    run_p.add_argument(
+        "--scale",
+        choices=("quick", "default", "paper"),
+        default="default",
+        help="sweep size (paper = the paper's full populations; slow)",
+    )
+    run_p.add_argument("--out", default=None, help="also write the report to FILE")
+    run_p.add_argument(
+        "--precision", type=int, default=3, help="decimal places in tables"
+    )
+    run_p.add_argument(
+        "--chart",
+        action="store_true",
+        help="also draw ASCII charts for experiments with known series",
+    )
+
+    all_p = sub.add_parser("all", help="run the full evaluation")
+    all_p.add_argument("--scale", choices=("quick", "default", "paper"), default="quick")
+    all_p.add_argument("--out", default=None)
+    all_p.add_argument("--precision", type=int, default=3)
+    all_p.add_argument("--chart", action="store_true")
+
+    audit_p = sub.add_parser("audit", help="verify every paper claim (PASS/FAIL)")
+    audit_p.add_argument("--scale", choices=("quick", "default", "paper"), default="quick")
+
+    sub.add_parser("demo", help="run the quickstart scenario")
+    return parser
+
+
+def _cmd_list() -> int:
+    width = max(len(n) for n in EXPERIMENTS)
+    for name, (desc, _) in EXPERIMENTS.items():
+        print(f"{name.ljust(width)}  {desc}")
+    return 0
+
+
+#: experiment → (x column, series) for --chart rendering.
+CHARTABLE = {
+    "fig3": ("M/N (%)", ["member-only", "non-member-only"]),
+    "fig7": ("M/N (%)", ["hops scrambled", "hops clustered"]),
+    "fig9": ("M/N (%)", ["with locality", "without locality"]),
+    "bounds-eq1": ("M/N (%)", ["routes w/ resolution (%)"]),
+    "ext-staleness": ("p_stale", ["mean cost"]),
+    "fig8-workload": ("used (%)", ["mean depth"]),
+    "ext-scaling": ("N", ["hops scrambled", "hops clustered"]),
+    "ext-data": ("moved (%)", ["Bristle availability", "Type A availability"]),
+}
+
+
+def _cmd_run(
+    names: List[str],
+    scale: str,
+    out: Optional[str],
+    precision: int,
+    chart: bool = False,
+) -> int:
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    tables = run_all(scale=scale, names=names)
+    text = render_report(tables, precision=precision)
+    if chart:
+        from .experiments.plots import ascii_chart
+
+        parts = [text]
+        for name, table in tables.items():
+            spec = CHARTABLE.get(name)
+            if spec is not None:
+                parts.append(ascii_chart(table, x=spec[0], series=spec[1]))
+                parts.append("")
+        text = "\n".join(parts)
+    print(text)
+    if out:
+        with open(out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"[written to {out}]")
+    return 0
+
+
+def _cmd_demo() -> int:
+    from repro import BristleConfig, BristleNetwork, route_with_resolution
+
+    net = BristleNetwork(BristleConfig(seed=42), num_stationary=150, num_mobile=75)
+    net.setup_random_registrations()
+    alice, bob = net.stationary_keys[0], net.mobile_keys[0]
+    before = route_with_resolution(net, alice, bob)
+    report = net.move(bob)
+    after = route_with_resolution(net, alice, bob)
+    print(
+        f"{net.num_nodes} nodes; bob moved "
+        f"(epoch {report.new_address.epoch}, {report.total_messages} update msgs, "
+        f"LDT depth {report.ldt_depth})"
+    )
+    print(
+        f"alice->bob: {before.app_hops} hops before the move, "
+        f"{after.app_hops} after — same key, still delivered"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(
+            args.names, args.scale, args.out, args.precision, args.chart
+        )
+    if args.command == "all":
+        return _cmd_run(
+            list(EXPERIMENTS), args.scale, args.out, args.precision, args.chart
+        )
+    if args.command == "audit":
+        from .experiments.audit import render_audit, run_audit
+
+        results = run_audit(scale=args.scale)
+        print(render_audit(results))
+        return 0 if all(r.passed for r in results) else 3
+    if args.command == "demo":
+        return _cmd_demo()
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,163 @@
+"""Analytic models from the paper (§2.3, §3) — the formulas behind
+Figure 3 and the complexity claims the benches validate empirically.
+
+All logarithms are base 2 (the paper's hop analyses count binary-halving
+steps; the Figure-3 scale matches `log2`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = [
+    "responsibility_member_only",
+    "responsibility_non_member_only",
+    "responsibility_curves",
+    "registrations_per_node",
+    "total_registrations",
+    "ldt_size_member_only",
+    "ldt_size_non_member_only",
+    "advertisement_hops",
+    "expected_route_hops",
+    "clustered_route_is_stationary",
+    "nabla",
+]
+
+
+def _check_population(num_nodes: int, num_mobile: int) -> None:
+    if num_nodes < 2:
+        raise ValueError("need at least two nodes")
+    if not 0 <= num_mobile < num_nodes:
+        raise ValueError(
+            f"mobile count must satisfy 0 <= M < N, got M={num_mobile}, N={num_nodes}"
+        )
+
+
+def nabla(num_nodes: int, num_mobile: int) -> float:
+    """∇ = (U − L)/ρ ≈ (N − M)/N — the stationary fraction of the key
+    space under clustered naming (§3)."""
+    _check_population(num_nodes, num_mobile)
+    return (num_nodes - num_mobile) / num_nodes
+
+
+def ldt_size_member_only(num_nodes: int) -> float:
+    """Members of one member-only LDT: O(log N) (§2.3)."""
+    return math.log2(num_nodes)
+
+
+def ldt_size_non_member_only(num_nodes: int) -> float:
+    """Worst-case participants of one non-member-only LDT:
+    S(τ) = O(log N) × O(log N) — leaf count times root-to-leaf route
+    length (§2.3)."""
+    return math.log2(num_nodes) ** 2
+
+
+def responsibility_member_only(num_nodes: int, num_mobile: int) -> float:
+    """Average location-handling load per stationary node, member-only
+    LDTs: O((M / (N − M)) · log N) (§2.3)."""
+    _check_population(num_nodes, num_mobile)
+    return num_mobile / (num_nodes - num_mobile) * math.log2(num_nodes)
+
+
+def responsibility_non_member_only(num_nodes: int, num_mobile: int) -> float:
+    """Average load per stationary node, non-member-only LDTs:
+    O((M / (N − M)) · (log N)²) (§2.3)."""
+    _check_population(num_nodes, num_mobile)
+    return num_mobile / (num_nodes - num_mobile) * math.log2(num_nodes) ** 2
+
+
+def responsibility_curves(
+    num_nodes: int, mobile_fractions: Sequence[float]
+) -> Dict[str, np.ndarray]:
+    """The two Figure-3 curves over a sweep of M/N values.
+
+    Returns arrays keyed ``"member_only"`` / ``"non_member_only"`` aligned
+    with ``mobile_fractions``; the paper plots N = 1,048,576.
+    """
+    fracs = np.asarray(list(mobile_fractions), dtype=np.float64)
+    if np.any((fracs < 0) | (fracs >= 1)):
+        raise ValueError("mobile fractions must satisfy 0 <= M/N < 1")
+    ratio = fracs / (1.0 - fracs)
+    log_n = math.log2(num_nodes)
+    return {
+        "member_only": ratio * log_n,
+        "non_member_only": ratio * log_n**2,
+    }
+
+
+def registrations_per_node(num_nodes: int, num_mobile: int) -> float:
+    """Registrations one active node issues when only mobile peers need
+    them: O((M/N) · log N) (§2.3.1)."""
+    _check_population(num_nodes, num_mobile)
+    return num_mobile / num_nodes * math.log2(num_nodes)
+
+
+def total_registrations(num_nodes: int, num_mobile: int) -> float:
+    """System-wide registrations: O(N · (M/N) · log N) = O(M log N)
+    (§2.3.1)."""
+    _check_population(num_nodes, num_mobile)
+    return num_mobile * math.log2(num_nodes)
+
+
+def advertisement_hops(num_nodes: int, branching: int) -> float:
+    """Hops to broadcast a state to the registry nodes via a k-way LDT:
+    O(log_k log N) (§2.3.2)."""
+    if branching < 2:
+        raise ValueError("branching must be >= 2 for the logarithmic bound")
+    registry = max(math.log2(num_nodes), 1.0)
+    return math.log(registry, branching)
+
+
+def expected_route_hops(num_nodes: int, num_mobile: int, *, clustered: bool) -> float:
+    """First-order model of Figure 7(a): mean application-level hops of a
+    stationary→stationary route.
+
+    Base cost is the ``(1/2)·log2 N`` hops of greedy binary-halving
+    routing over all N nodes.  Under **scrambled** naming each
+    intermediate hop is mobile with probability M/N and then costs an
+    extra discovery — ``(1/2)·log2(N − M) + 1`` hops in the stationary
+    layer.  Under **clustered** naming with ∇ ≥ 1/2, eq. (1) shows routes
+    never leave the stationary band, so only the residual ``max(0,
+    1 − 2∇)`` exposure applies (the fraction of the wrap arc not cleared
+    by the first halving hop once the mobile region exceeds half the
+    ring).
+    """
+    _check_population(num_nodes, num_mobile)
+    base = 0.5 * math.log2(num_nodes)
+    discovery = 0.5 * math.log2(num_nodes - num_mobile) + 1.0
+    intermediates = max(base - 1.0, 0.0)
+    if not clustered:
+        p_mobile = num_mobile / num_nodes
+    else:
+        nd = nabla(num_nodes, num_mobile)
+        p_mobile = max(0.0, 1.0 - 2.0 * nd)
+    return base + intermediates * p_mobile * discovery
+
+
+def clustered_route_is_stationary(
+    x1: int, x2: int, low: int, high: int, ring_size: int
+) -> bool:
+    """Equation (1) of §3, applied to one route.
+
+    A clockwise route from stationary ``x1`` to stationary ``x2`` (keys in
+    ``[low, high]``) stays within the stationary layer when either it does
+    not wrap (``x1 ≤ x2``) or the first halving hop lands back inside the
+    band.  The paper writes the landing test as
+    ``(x1 + (ρ − (x1 − x2))/2) mod ρ ≥ L``; taken literally that accepts
+    landings in the *upper* mobile region ``(U, ρ)`` too, so we use the
+    intended in-band form ``L ≤ midpoint ≤ U``.  Note the paper's closing
+    claim (∇ ≥ 1/2 ⟹ all routes stationary) follows from substituting the
+    *best*-case pair ``x1 = x2 = U`` — ∇ ≥ 1/2 is necessary for any
+    wrapping pair to pass, not sufficient for all of them; the measured
+    bench (``run_eq1_check``) quantifies the gap.
+    """
+    for x in (x1, x2):
+        if not low <= x <= high:
+            raise ValueError(f"key {x} outside the stationary band [{low}, {high}]")
+    if x1 <= x2:
+        return True
+    midpoint = (x1 + (ring_size - (x1 - x2)) / 2.0) % ring_size
+    return low <= midpoint <= high

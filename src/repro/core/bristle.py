@@ -1,0 +1,462 @@
+"""The Bristle network facade — the paper's two-layer architecture (§2.1).
+
+:class:`BristleNetwork` wires every substrate together:
+
+* an underlay (transit-stub topology + placement + shortest-path oracle);
+* the **stationary layer** — an HS-P2P over the stationary nodes, acting
+  as the location-information repository;
+* the **mobile layer** — an HS-P2P over *all* nodes, whose cached
+  addresses for mobile peers may go stale;
+* naming (clustered or scrambled key assignment, §3);
+* the location directory, registrations and LDTs of §2.3.
+
+The facade exposes the paper's operations: :meth:`move` (a mobile node
+changes attachment point, publishes its new address and advertises down
+its LDT), :meth:`discover` (reactive state discovery through the
+stationary layer) and — via :mod:`repro.core.routing` — Figure-2 routing
+with address resolution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..net.address import NetworkAddress
+from ..net.placement import Placement
+from ..net.shortest_path import PathOracle
+from ..net.transit_stub import (
+    TransitStubTopology,
+    generate_transit_stub,
+    params_for_router_count,
+)
+from ..overlay.base import Overlay
+from ..overlay.factory import make_overlay
+from ..overlay.keyspace import KeySpace
+from ..sim.rng import RngStreams
+from .config import BristleConfig
+from .ldt import LDTMember, LDTree, build_ldt
+from .location import LocationDirectory, RegistrationManager
+from .naming import make_naming
+from .node import BristleNode
+
+__all__ = ["BristleNetwork", "MoveReport"]
+
+
+@dataclasses.dataclass
+class MoveReport:
+    """Accounting for one mobile-node move.
+
+    Attributes
+    ----------
+    key:
+        The node that moved.
+    new_address:
+        Its address after the move.
+    publish_holders:
+        Stationary nodes that received the location update.
+    publish_hops:
+        Overlay hops taken to publish into the stationary layer.
+    ldt:
+        The advertisement tree used to notify registered nodes (``None``
+        when the node has no registrants or advertisement was disabled).
+    """
+
+    key: int
+    new_address: NetworkAddress
+    publish_holders: List[int]
+    publish_hops: int
+    ldt: Optional[LDTree]
+
+    @property
+    def ldt_messages(self) -> int:
+        return self.ldt.message_count if self.ldt is not None else 0
+
+    @property
+    def ldt_depth(self) -> int:
+        return self.ldt.depth if self.ldt is not None else 0
+
+    @property
+    def total_messages(self) -> int:
+        """Publish messages (one per holder) plus LDT advertisements."""
+        return len(self.publish_holders) + self.ldt_messages
+
+
+class BristleNetwork:
+    """A fully-built Bristle deployment.
+
+    Parameters
+    ----------
+    config:
+        All protocol tunables.
+    num_stationary / num_mobile:
+        Population sizes (N = sum; M = num_mobile).
+    topology:
+        An existing underlay, or ``None`` to generate one.
+    router_count:
+        When generating, approximate underlay size (default scales with
+        the population).
+    capacities:
+        Optional explicit capacity per node key; default draws uniform
+        integer capacities in ``[1, max_capacity]``.
+    max_capacity:
+        Upper bound for the default capacity draw (Fig 8's ``MAX``).
+    """
+
+    def __init__(
+        self,
+        config: BristleConfig,
+        num_stationary: int,
+        num_mobile: int,
+        *,
+        topology: Optional[TransitStubTopology] = None,
+        router_count: Optional[int] = None,
+        capacities: Optional[Dict[int, float]] = None,
+        max_capacity: int = 15,
+        naming_scheme=None,
+    ) -> None:
+        if num_stationary < 2:
+            raise ValueError("need at least two stationary nodes")
+        if num_mobile < 0:
+            raise ValueError("num_mobile must be non-negative")
+        self.config = config
+        self.rng = RngStreams(config.seed)
+        self.space = KeySpace(bits=config.key_bits, digit_bits=config.digit_bits)
+        self.num_stationary = num_stationary
+        self.num_mobile = num_mobile
+        self.now = 0.0  # simple virtual clock for lease bookkeeping
+
+        # --- naming -------------------------------------------------------
+        # ``naming_scheme`` overrides the config-selected scheme (used by
+        # the band-placement ablation, which positions [L, U] explicitly).
+        self.naming = (
+            naming_scheme
+            if naming_scheme is not None
+            else make_naming(config.naming, self.space, num_stationary, num_mobile)
+        )
+        assignment = self.naming.assign(num_stationary, num_mobile, self.rng)
+        self.stationary_keys: List[int] = sorted(assignment.stationary_keys)
+        self.mobile_keys: List[int] = sorted(assignment.mobile_keys)
+
+        # --- underlay -----------------------------------------------------
+        if topology is None:
+            total = num_stationary + num_mobile
+            routers = router_count if router_count is not None else max(100, total // 4)
+            topology = generate_transit_stub(params_for_router_count(routers), self.rng)
+        self.topology = topology
+        self.oracle = PathOracle(topology.graph)
+        self.placement = Placement(topology, self.rng)
+
+        # --- nodes ----------------------------------------------------------
+        cap_gen = self.rng.stream("capacities")
+        self.nodes: Dict[int, BristleNode] = {}
+        for key in self.stationary_keys + self.mobile_keys:
+            if capacities is not None and key in capacities:
+                cap = float(capacities[key])
+            else:
+                cap = float(cap_gen.integers(1, max_capacity + 1))
+            node = BristleNode(
+                key=key,
+                mobile=key in set(self.mobile_keys),
+                capacity=cap,
+                space=self.space,
+            )
+            node.address = self.placement.attach(key)
+            self.nodes[key] = node
+        # Recompute mobile membership cheaply (set built once).
+        self._mobile_set = set(self.mobile_keys)
+
+        # --- overlays -------------------------------------------------------
+        proximity = self.network_distance_between_keys
+        capacity_fn = lambda k: self.nodes[k].capacity  # noqa: E731
+        self.stationary_layer: Overlay = make_overlay(
+            config.stationary_layer_overlay,
+            self.space,
+            proximity=None,  # stationary-layer tables are key-determined
+            capacity=capacity_fn,
+        )
+        self.stationary_layer.build(self.stationary_keys)
+        self.mobile_layer: Overlay = make_overlay(
+            config.mobile_layer_overlay,
+            self.space,
+            proximity=None,
+            capacity=capacity_fn,
+        )
+        self.mobile_layer.build(self.stationary_keys + self.mobile_keys)
+        self._proximity = proximity
+
+        # --- location management ---------------------------------------------
+        self.directory = LocationDirectory(
+            self.space, self.stationary_layer, replication=config.replication
+        )
+        self.registrations = RegistrationManager(self.nodes)
+        #: discovery relays served per stationary holder — the Table-1
+        #: "infrastructure load" counter (comparable to Type B's per-agent
+        #: packet counts).
+        self.resolution_load: Dict[int, int] = {}
+        # Every node (mobile ones included) starts published so discovery
+        # succeeds from time zero.
+        for key in self.mobile_keys:
+            self.directory.publish(
+                key, self.nodes[key].address, now=0.0, ttl=config.state_ttl
+            )
+
+    # ------------------------------------------------------------------
+    # Convenience queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.num_stationary + self.num_mobile
+
+    def is_mobile(self, key: int) -> bool:
+        """True when ``key`` belongs to a mobile-layer-only node."""
+        return key in self._mobile_set
+
+    def node(self, key: int) -> BristleNode:
+        """The node object for ``key`` (KeyError when absent)."""
+        return self.nodes[key]
+
+    def network_distance_between_keys(self, a: int, b: int) -> float:
+        """Current underlay shortest-path weight between two nodes."""
+        if a == b:
+            return 0.0
+        return self.oracle.distance(
+            self.placement.router_of(a), self.placement.router_of(b)
+        )
+
+    def registry_size_for(self, key: int) -> int:
+        """Configured LDT registry size (⌈log₂ N⌉ by default)."""
+        return self.config.effective_registry_size(self.num_nodes)
+
+    # ------------------------------------------------------------------
+    # Registration setup
+    # ------------------------------------------------------------------
+    def setup_registrations_from_overlay(self) -> int:
+        """Populate every mobile node's ``R(i)`` from mobile-layer state
+        replication (the §2.3.1 default interest relation)."""
+        return self.registrations.register_from_overlay(self.mobile_layer)
+
+    def setup_random_registrations(
+        self,
+        registry_size: Optional[int] = None,
+        *,
+        only_keys: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Give every mobile node ``registry_size`` random registrants —
+        the Figure-8 experimental setup (⌈log₂ N⌉ interested nodes).
+
+        ``only_keys`` restricts the setup to those mobile nodes (used by
+        experiments that sample a subset of trees).
+        """
+        size = registry_size if registry_size is not None else self.registry_size_for(0)
+        all_keys = self.stationary_keys + self.mobile_keys
+        targets = list(only_keys) if only_keys is not None else self.mobile_keys
+        for mk in targets:
+            pool = [k for k in all_keys if k != mk]
+            chosen = self.rng.sample("registrations", pool, min(size, len(pool)))
+            for c in chosen:
+                self.registrations.register(c, mk, now=self.now)
+
+    def setup_local_registrations(
+        self,
+        registry_size: Optional[int] = None,
+        *,
+        only_keys: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Locality-aware registration (§4.3): each mobile node's
+        registrants are the *network-closest* candidates, modelling the
+        steady state after nodes "periodically re-perform joining
+        operations to refresh ... registrations to those nodes it is
+        likely interested in"."""
+        size = registry_size if registry_size is not None else self.registry_size_for(0)
+        all_keys = self.stationary_keys + self.mobile_keys
+        routers = np.asarray([self.placement.router_of(k) for k in all_keys])
+        targets = list(only_keys) if only_keys is not None else self.mobile_keys
+        for mk in targets:
+            my_router = self.placement.router_of(mk)
+            dists = self.oracle.distances_from(my_router)[routers]
+            order = np.argsort(dists, kind="stable")
+            chosen: List[int] = []
+            for idx in order:
+                cand = all_keys[int(idx)]
+                if cand == mk:
+                    continue
+                chosen.append(cand)
+                if len(chosen) >= size:
+                    break
+            for c in chosen:
+                self.registrations.register(c, mk, now=self.now)
+
+    # ------------------------------------------------------------------
+    # Mobility (update operation, §2.3.1)
+    # ------------------------------------------------------------------
+    def move(
+        self,
+        key: int,
+        router: Optional[int] = None,
+        *,
+        advertise: bool = True,
+        publish: bool = True,
+    ) -> MoveReport:
+        """Move mobile node ``key`` to a new attachment point.
+
+        The node updates the stationary layer ("publish") and multicasts
+        the new address down its LDT ("advertise"), per §2.1/§2.3.1.
+        """
+        node = self.nodes[key]
+        if not node.mobile:
+            raise ValueError(f"node {key} is stationary; only mobile nodes move")
+        new_addr = self.placement.move(key, router)
+        node.address = new_addr
+        node.moves += 1
+
+        publish_holders: List[int] = []
+        publish_hops = 0
+        if publish:
+            publish_holders = self.directory.publish(
+                key, new_addr, now=self.now, ttl=self.config.state_ttl
+            )
+            # Publishing sends one message to the mover's stationary entry
+            # point — which, being the stationary node closest to the
+            # mover's key, is itself the record owner — plus the replica
+            # fan-out counted in ``total_messages``.
+            publish_hops = 1
+
+        ldt: Optional[LDTree] = None
+        if advertise and node.registry:
+            ldt = self.build_ldt_for(key)
+        return MoveReport(
+            key=key,
+            new_address=new_addr,
+            publish_holders=publish_holders,
+            publish_hops=publish_hops,
+            ldt=ldt,
+        )
+
+    def build_ldt_for(
+        self, key: int, *, locality_tie_break: bool = False
+    ) -> LDTree:
+        """Construct the advertisement tree for mobile node ``key`` from
+        its current registry (Fig 4)."""
+        node = self.nodes[key]
+        root = LDTMember(key=key, capacity=node.capacity, used=node.used)
+        members = [
+            LDTMember(
+                key=e.key,
+                capacity=self.nodes[e.key].capacity,
+                used=self.nodes[e.key].used,
+            )
+            for e in node.registry_entries()
+        ]
+        tie = None
+        if locality_tie_break:
+            tie = lambda m: self.network_distance_between_keys(key, m.key)  # noqa: E731
+        return build_ldt(
+            root, members, unit_cost=self.config.unit_advertise_cost, tie_break=tie
+        )
+
+    # ------------------------------------------------------------------
+    # Discovery (reactive state resolution, §2.3.2)
+    # ------------------------------------------------------------------
+    def discover(self, from_key: int, target_key: int) -> "DiscoveryResult":
+        """Resolve ``target_key``'s address through the stationary layer.
+
+        The requester injects a discovery message into the stationary
+        layer; it routes to the stationary node closest to the target key
+        (the record holder Z), which returns the registered address.
+        """
+        entry = (
+            from_key
+            if not self.is_mobile(from_key)
+            else self.stationary_layer.owner_of(from_key)
+        )
+        stat_route = self.stationary_layer.route(entry, target_key)
+        holder = stat_route.terminus
+        self.resolution_load[holder] = self.resolution_load.get(holder, 0) + 1
+        addr = self.directory.resolve_at(holder, target_key, now=self.now)
+        if addr is None:
+            # Replica fallback (§2.3.2 availability).
+            addr = self.directory.resolve(target_key, now=self.now)
+        hops = [from_key] if entry == from_key else [from_key, entry]
+        hops.extend(stat_route.hops[1:])
+        return DiscoveryResult(
+            target=target_key, hops=hops, address=addr, holder=holder
+        )
+
+    # ------------------------------------------------------------------
+    # Join / leave (§2.3.3) — mobile-layer membership churn
+    # ------------------------------------------------------------------
+    def join_mobile_node(self, key: int, capacity: float = 1.0) -> BristleNode:
+        """Admit a new mobile node: place it, add it to the mobile layer,
+        publish its location, and register it to its new neighbours'
+        mobile peers (Fig 5's reciprocal registrations)."""
+        self.space.validate(key)
+        if key in self.nodes:
+            raise ValueError(f"key {key} already present")
+        node = BristleNode(key=key, mobile=True, capacity=capacity, space=self.space)
+        node.address = self.placement.attach(key)
+        self.nodes[key] = node
+        self.mobile_keys.append(key)
+        self.mobile_keys.sort()
+        self._mobile_set.add(key)
+        self.num_mobile += 1
+        self.mobile_layer.add_node(key)
+        self.directory.publish(key, node.address, now=self.now, ttl=self.config.state_ttl)
+        # Reciprocal registrations with the new neighbourhood (Fig 5).
+        for nb in self.mobile_layer.neighbors_of(key):
+            if self.is_mobile(nb):
+                self.registrations.register(key, nb, now=self.now)
+            self.registrations.register(nb, key, now=self.now)
+        return node
+
+    def leave_mobile_node(self, key: int) -> None:
+        """Remove a mobile node: withdraw its records, unregister it
+        everywhere, drop it from the mobile layer and the underlay."""
+        node = self.nodes.get(key)
+        if node is None or not node.mobile:
+            raise ValueError(f"{key} is not a mobile member")
+        self.directory.withdraw(key)
+        for target in list(node.subscriptions):
+            self.registrations.unregister(key, target)
+        for registrant in list(node.registry):
+            self.registrations.unregister(registrant, key)
+        self.mobile_layer.remove_node(key)
+        self.placement.detach(key)
+        self.mobile_keys.remove(key)
+        self._mobile_set.discard(key)
+        self.num_mobile -= 1
+        del self.nodes[key]
+
+    def advance_time(self, dt: float) -> None:
+        """Advance the lease clock (directory records age against it)."""
+        if dt < 0:
+            raise ValueError("time cannot go backwards")
+        self.now += dt
+
+
+@dataclasses.dataclass
+class DiscoveryResult:
+    """Outcome of a reactive state discovery.
+
+    ``hops`` is the full node-key path the discovery message travelled
+    (requester, optional stationary entry point, stationary route to the
+    holder).  ``address`` is ``None`` when no fresh record existed.
+    """
+
+    target: int
+    hops: List[int]
+    address: Optional[NetworkAddress]
+    holder: int
+
+    @property
+    def hop_count(self) -> int:
+        return max(len(self.hops) - 1, 0)
+
+    @property
+    def found(self) -> bool:
+        return self.address is not None
+
+
+__all__.append("DiscoveryResult")

@@ -1,0 +1,163 @@
+"""The Figure-5 joining protocol, with message accounting (§2.3.3).
+
+"Consider a node i joins Bristle.  It publishes its state to O(log N)
+nodes and then these nodes return their registrations ... This at most
+takes 2 × O(log N) messages sent and received by node i."
+
+The algorithm walks the join message's route through the mobile layer;
+every visited node ``k``:
+
+1. admits ``i`` into ``state[k]`` when ``i``'s key is closer to ``k``
+   than some existing entry (``i`` then registers itself to ``k``);
+2. offers ``k`` and all of ``state[k]`` back to ``i``, which adopts a
+   candidate ``r`` when ``r`` is key-closer than some current entry *and*
+   network-closer (``distance(r, i) < distance(q, i)``) — the proximity
+   test that makes Bristle state locality-aware.
+
+:func:`figure5_join` performs the structural join (placement, overlay
+membership, directory publish) and then runs the algorithm to populate
+the newcomer's :class:`~repro.overlay.state.StateTable`, returning a
+:class:`JoinReport` whose message count the bound test checks against
+``2·⌈log₂ N⌉`` (plus the visited-route constant).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional
+
+from ..overlay.state import StatePair
+from .bristle import BristleNetwork
+
+__all__ = ["JoinReport", "figure5_join"]
+
+
+@dataclasses.dataclass
+class JoinReport:
+    """Accounting for one Figure-5 join."""
+
+    key: int
+    visited: List[int]
+    registrations_sent: int  # i → k ("i registers itself to k")
+    registrations_received: int  # r → i ("r registers itself to i")
+    state_size: int
+
+    @property
+    def messages(self) -> int:
+        """Messages sent and received by the joining node: the join route
+        plus both registration directions."""
+        return len(self.visited) + self.registrations_sent + self.registrations_received
+
+    def within_bound(self, num_nodes: int, constant: float = 3.0) -> bool:
+        """The §2.3.3 claim: messages ≤ 2·O(log N) (generous constant)."""
+        return self.messages <= constant * 2 * max(math.log2(max(num_nodes, 2)), 1.0)
+
+
+def figure5_join(
+    net: BristleNetwork,
+    key: int,
+    capacity: float = 1.0,
+    bootstrap: Optional[int] = None,
+) -> JoinReport:
+    """Join mobile node ``key`` per Figure 5 and account its messages.
+
+    Parameters
+    ----------
+    net:
+        The network to join.
+    key:
+        The newcomer's hash key (must be fresh).
+    capacity:
+        The newcomer's ``C_X``.
+    bootstrap:
+        Member the join message starts from (default: a random existing
+        member — joins arrive from arbitrary points of the overlay, which
+        is what makes the route visit O(log N) nodes).
+    """
+    net.space.validate(key)
+    if key in net.nodes:
+        raise ValueError(f"key {key} is already a member")
+    if bootstrap is None:
+        members = net.stationary_keys + net.mobile_keys
+        bootstrap = net.rng.choice("join.bootstrap", members)
+    if bootstrap not in net.nodes:
+        raise ValueError(f"bootstrap {bootstrap} is not a member")
+
+    # The join message visits the nodes along the route toward i's key
+    # *before* i becomes a member.
+    route = net.mobile_layer.route(bootstrap, key)
+    visited = list(route.hops)
+
+    # Structural join: placement, overlay membership, directory publish.
+    # (join_mobile_node also performs reciprocal registrations with the
+    # overlay neighbours; the Figure-5 walk below additionally populates
+    # the newcomer's state table with the proximity-filtered candidates.)
+    node = net.join_mobile_node(key, capacity=capacity)
+
+    registrations_sent = 0
+    registrations_received = 0
+    dist = net.network_distance_between_keys
+    space = net.space
+
+    for k in visited:
+        k_node = net.nodes[k]
+        k_state = k_node.state
+        # (1) does i become k's neighbour?  "∃p ∈ state[k] such that
+        # i.key is closer to k than p.key" — with an empty table the
+        # newcomer is trivially admitted.
+        admit = len(k_state) == 0
+        for p in k_state:
+            if space.is_closer(key, p.key, k):
+                admit = True
+                break
+        if admit and key not in k_state:
+            k_state.insert(
+                StatePair(key=key, addr=node.address, capacity=capacity)
+            )
+            # The registration message is always sent; the interest
+            # relation is only recorded for mobile targets (§2.3.1's
+            # "register itself to those mobile nodes only").
+            registrations_sent += 1
+        # (2) can each of k and state[k] become i's neighbour?
+        for r in [k] + [p.key for p in k_state]:
+            if r == key or r in node.state:
+                continue
+            r_node = net.nodes.get(r)
+            if r_node is None:
+                continue
+            if len(node.state) == 0:
+                closer_exists = True
+            else:
+                closer_exists = any(
+                    space.is_closer(r, q.key, key) for q in node.state
+                )
+                # Network-proximity test: distance(r, i) < distance(q, i)
+                # for the displaced candidate.
+                if closer_exists:
+                    worst = max(
+                        (q for q in node.state),
+                        key=lambda q: dist(q.key, key),
+                    )
+                    closer_exists = dist(r, key) < dist(worst.key, key) or len(
+                        node.state
+                    ) < net.config.effective_registry_size(net.num_nodes)
+            if closer_exists:
+                node.state.insert(
+                    StatePair(
+                        key=r,
+                        addr=r_node.address,
+                        capacity=r_node.capacity,
+                    )
+                )
+                if node.mobile:
+                    net.registrations.register(r, key, now=net.now)
+                registrations_received += 1
+
+    return JoinReport(
+        key=key,
+        visited=visited,
+        registrations_sent=registrations_sent,
+        registrations_received=registrations_received,
+        state_size=len(node.state),
+    )

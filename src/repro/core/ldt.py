@@ -1,0 +1,253 @@
+"""Location dissemination trees (LDTs) and the Fig-4 advertisement scheduler.
+
+Every mobile node is associated with one LDT whose members are the nodes
+registered to it (§2.3).  When the mobile node moves, its new address is
+multicast down the tree.  The tree is *not* stored — it is the recursion
+structure of the state-advertisement algorithm of Fig 4, re-derived from
+the registry's capacities and workloads at each advertisement:
+
+1. sort ``R(i)`` by capacity, decreasing;
+2. if the advertising node is overloaded (``Avail_i − v ≤ 0``), hand the
+   entire list to the single highest-capacity registry node, which
+   continues the advertisement (chain step);
+3. otherwise split the list round-robin into ``k = ⌊Avail_i / v⌋``
+   partitions (so partition sizes are "nearly equal" and partition heads
+   are the ``k`` highest-capacity nodes), send the new address to each
+   head together with its partition remainder, and recurse.
+
+The module represents one advertisement wave as an explicit
+:class:`LDTree` so experiments can measure structure (Fig 8a: level
+distribution), load balance (Fig 8b: partition sizes vs capacity) and cost
+(Fig 9: per-edge network cost).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["LDTMember", "LDTNode", "LDTree", "build_ldt", "ldt_depth_bound"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LDTMember:
+    """Input descriptor for one participant in an advertisement wave.
+
+    Attributes
+    ----------
+    key:
+        Node key.
+    capacity:
+        The node's ``C`` (Fig 8 uses the number of network connections).
+    used:
+        Present workload ``Used`` — subtracted to get ``Avail``.
+    """
+
+    key: int
+    capacity: float
+    used: float = 0.0
+
+    @property
+    def available(self) -> float:
+        return self.capacity - self.used
+
+
+@dataclasses.dataclass
+class LDTNode:
+    """One node's position in a constructed LDT.
+
+    ``level`` is 0 for the root (the mobile node); registry members start
+    at level 1 — Fig 8(a)'s "level-1 node" is thus the first member tier.
+    ``assigned`` is the size of the partition handed to this node
+    (including itself), i.e. Fig 8(b)'s "Number of Nodes Assigned";
+    non-head members have ``assigned == 0``.
+    """
+
+    member: LDTMember
+    level: int
+    parent: Optional[int]
+    children: List[int] = dataclasses.field(default_factory=list)
+    assigned: int = 0
+
+    @property
+    def key(self) -> int:
+        return self.member.key
+
+
+@dataclasses.dataclass
+class LDTree:
+    """A materialised advertisement tree.
+
+    Attributes
+    ----------
+    root_key:
+        The mobile node's key.
+    nodes:
+        key → :class:`LDTNode` for the root and every registry member.
+    edges:
+        ``(parent_key, child_key)`` pairs — each is one ``_send`` message.
+    """
+
+    root_key: int
+    nodes: Dict[int, LDTNode]
+    edges: List[Tuple[int, int]]
+
+    @property
+    def depth(self) -> int:
+        """Maximum member level (0 when the tree has no members)."""
+        return max((n.level for n in self.nodes.values()), default=0)
+
+    @property
+    def num_members(self) -> int:
+        """Registry members reached (excludes the root)."""
+        return len(self.nodes) - 1
+
+    @property
+    def message_count(self) -> int:
+        """Advertisement messages sent (one per edge)."""
+        return len(self.edges)
+
+    def level_histogram(self) -> Dict[int, int]:
+        """member count per level (root level 0 excluded)."""
+        hist: Dict[int, int] = {}
+        for n in self.nodes.values():
+            if n.level > 0:
+                hist[n.level] = hist.get(n.level, 0) + 1
+        return hist
+
+    def children_of(self, key: int) -> List[int]:
+        """Child keys of ``key`` in the tree."""
+        return list(self.nodes[key].children)
+
+    def edge_costs(self, distance: Callable[[int, int], float]) -> List[float]:
+        """Cost of each tree edge under a network-distance function.
+
+        Fig 9's metric: "E_ij is the minimal sum of path weights for the
+        network links assembling the edge" — i.e. the shortest-path weight
+        between the two endpoints.
+        """
+        return [distance(a, b) for a, b in self.edges]
+
+    def total_cost(self, distance: Callable[[int, int], float]) -> float:
+        """Sum of all edge costs under ``distance``."""
+        return sum(self.edge_costs(distance))
+
+    def validate(self) -> None:
+        """Internal consistency checks (used by property tests).
+
+        Every member appears exactly once, every edge links a parent one
+        level above its child, and the structure is a tree rooted at
+        ``root_key``.
+        """
+        assert self.root_key in self.nodes, "root missing from node map"
+        assert self.nodes[self.root_key].level == 0, "root must be level 0"
+        seen_children = set()
+        for a, b in self.edges:
+            na, nb = self.nodes[a], self.nodes[b]
+            assert nb.level == na.level + 1, f"edge {a}->{b} skips levels"
+            assert nb.parent == a, f"child {b} disagrees about its parent"
+            assert b not in seen_children, f"node {b} has two parents"
+            seen_children.add(b)
+        member_keys = {k for k in self.nodes if k != self.root_key}
+        assert seen_children == member_keys, "every member must have exactly one parent"
+
+
+def _round_robin_partitions(items: Sequence[LDTMember], k: int) -> List[List[LDTMember]]:
+    """Split a capacity-sorted list into ``k`` near-equal partitions.
+
+    Round-robin over a decreasing list: partition ``j`` receives items
+    ``j, j+k, j+2k, ...`` — sizes differ by at most one (the Fig-4
+    guarantee "the numbers of registry nodes of different disjoint subsets
+    are nearly equal") and each partition's head is among the ``k``
+    highest-capacity nodes.
+    """
+    parts: List[List[LDTMember]] = [[] for _ in range(k)]
+    for idx, item in enumerate(items):
+        parts[idx % k].append(item)
+    return [p for p in parts if p]
+
+
+def build_ldt(
+    root: LDTMember,
+    registry: Sequence[LDTMember],
+    unit_cost: float = 1.0,
+    *,
+    tie_break: Optional[Callable[[LDTMember], float]] = None,
+) -> LDTree:
+    """Run the Fig-4 advertisement recursion and materialise the tree.
+
+    Parameters
+    ----------
+    root:
+        The advertising mobile node ``i``.
+    registry:
+        ``R(i)`` — the registered (interested) nodes, any order.
+    unit_cost:
+        ``v``, "the unit cost to send an update message".
+    tie_break:
+        Optional secondary sort key for equal capacities (e.g. network
+        proximity to the advertiser); defaults to the node key, which keeps
+        construction deterministic.
+
+    Returns
+    -------
+    LDTree
+        The dissemination structure; every registry member appears exactly
+        once (the algorithm's partitions are disjoint and exhaustive).
+    """
+    if unit_cost <= 0:
+        raise ValueError("unit_cost must be positive")
+    keys = [m.key for m in registry]
+    if len(set(keys)) != len(keys):
+        raise ValueError("registry contains duplicate keys")
+    if root.key in set(keys):
+        raise ValueError("the root must not appear in its own registry")
+
+    nodes: Dict[int, LDTNode] = {root.key: LDTNode(member=root, level=0, parent=None)}
+    edges: List[Tuple[int, int]] = []
+
+    def sort_key(m: LDTMember) -> Tuple[float, float]:
+        secondary = tie_break(m) if tie_break is not None else float(m.key)
+        return (-m.capacity, secondary)
+
+    def advertise(sender: LDTMember, sender_level: int, pending: List[LDTMember]) -> None:
+        """``sender`` forwards the update to ``pending`` (Fig 4)."""
+        if not pending:
+            return
+        ordered = sorted(pending, key=sort_key)
+        avail = sender.available
+        if avail - unit_cost <= 0:
+            # Overloaded: delegate everything to the strongest node.
+            head, rest = ordered[0], ordered[1:]
+            _attach(head, sender, sender_level, assigned=len(ordered))
+            advertise(head, sender_level + 1, rest)
+            return
+        k = int(math.floor(avail / unit_cost))
+        k = max(1, min(k, len(ordered)))
+        for part in _round_robin_partitions(ordered, k):
+            head, rest = part[0], part[1:]
+            _attach(head, sender, sender_level, assigned=len(part))
+            advertise(head, sender_level + 1, rest)
+
+    def _attach(child: LDTMember, parent: LDTMember, parent_level: int, assigned: int) -> None:
+        nodes[child.key] = LDTNode(
+            member=child, level=parent_level + 1, parent=parent.key, assigned=assigned
+        )
+        nodes[parent.key].children.append(child.key)
+        edges.append((parent.key, child.key))
+
+    advertise(root, 0, list(registry))
+    tree = LDTree(root_key=root.key, nodes=nodes, edges=edges)
+    return tree
+
+
+def ldt_depth_bound(registry_size: int, branching: int) -> float:
+    """The §2.3 ideal bound: a ``k``-way complete tree advertises in
+    ``O(log_k |R|)`` hops ("if a LDT is a k-way complete tree, then
+    perform a state advertisement takes O(log(log N)/log k) hops")."""
+    if registry_size <= 0:
+        return 0.0
+    if branching <= 1:
+        return float(registry_size)
+    return math.log(max(registry_size, 1), branching) + 1

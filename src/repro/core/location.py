@@ -1,0 +1,213 @@
+"""Location management: the stationary-layer directory and registrations.
+
+Two cooperating pieces implement §2.1/§2.3:
+
+* :class:`LocationDirectory` — the "location information repository" the
+  stationary layer forms.  A mobile node *publishes* its current address
+  to the stationary node whose key is closest to its own (plus ``k − 1``
+  replicas clustered around that key, per §2.3.2's availability rule);
+  a *discovery* message routed to that key resolves the address.
+* :class:`RegistrationManager` — the register/update bookkeeping of
+  §2.3.1: which nodes are interested in which mobile node (``R(i)``),
+  derived by default from overlay state replication ("X registers itself
+  to nodes whose state-pairs are replicated in X").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..net.address import NetworkAddress
+from ..overlay.base import Overlay
+from ..overlay.keyspace import KeySpace
+from .node import BristleNode, RegistryEntry
+
+__all__ = ["LocationRecord", "LocationDirectory", "RegistrationManager"]
+
+
+@dataclasses.dataclass
+class LocationRecord:
+    """One published binding: mobile key → address, with lease metadata."""
+
+    key: int
+    addr: NetworkAddress
+    published_at: float
+    ttl: float
+
+    def fresh(self, now: float) -> bool:
+        """Lease still valid at ``now``."""
+        return now <= self.published_at + self.ttl
+
+
+class LocationDirectory:
+    """Distributed location store over the stationary layer.
+
+    The directory maps each *stationary holder* to the records it stores.
+    Holder selection follows the HS-P2P placement rule: the record for key
+    ``k`` lives on the stationary node owning ``k`` plus the next closest
+    stationary keys, ``replication`` in total (§2.3.2: "a data item ...
+    can simply be replicated to k nodes clustered with the hash keys
+    closest to the one represented the data item").
+    """
+
+    def __init__(self, space: KeySpace, stationary_overlay: Overlay, replication: int = 3) -> None:
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        self.space = space
+        self.overlay = stationary_overlay
+        self.replication = replication
+        # holder key -> {mobile key -> record}
+        self._stores: Dict[int, Dict[int, LocationRecord]] = {}
+        self.publish_count = 0
+        self.resolve_count = 0
+
+    # ------------------------------------------------------------------
+    # Holder selection
+    # ------------------------------------------------------------------
+    def holders_for(self, key: int) -> List[int]:
+        """The stationary nodes storing the record for ``key``.
+
+        The owner plus its ring neighbours, ``replication`` holders total
+        (bounded by the layer size).
+        """
+        keys = self.overlay.keys
+        n = int(keys.size)
+        count = min(self.replication, n)
+        owner = self.overlay.owner_of(key)
+        idx = int(np.searchsorted(keys, owner))
+        # Expand alternately right/left around the owner for "clustered"
+        # replicas.
+        holders = [owner]
+        step = 1
+        while len(holders) < count:
+            right = int(keys[(idx + step) % n])
+            if right not in holders:
+                holders.append(right)
+            if len(holders) >= count:
+                break
+            left = int(keys[(idx - step) % n])
+            if left not in holders:
+                holders.append(left)
+            step += 1
+        return holders
+
+    # ------------------------------------------------------------------
+    # Publish / resolve
+    # ------------------------------------------------------------------
+    def publish(self, key: int, addr: NetworkAddress, now: float, ttl: float) -> List[int]:
+        """Store ``key → addr`` at every holder; returns the holder keys."""
+        record = LocationRecord(key=key, addr=addr, published_at=now, ttl=ttl)
+        holders = self.holders_for(key)
+        for h in holders:
+            self._stores.setdefault(h, {})[key] = record
+        self.publish_count += 1
+        return holders
+
+    def resolve(self, key: int, now: float) -> Optional[NetworkAddress]:
+        """Look up the freshest record for ``key`` among its holders."""
+        self.resolve_count += 1
+        best: Optional[LocationRecord] = None
+        for h in self.holders_for(key):
+            rec = self._stores.get(h, {}).get(key)
+            if rec is not None and rec.fresh(now):
+                if best is None or rec.published_at > best.published_at:
+                    best = rec
+        return best.addr if best is not None else None
+
+    def resolve_at(self, holder: int, key: int, now: float) -> Optional[NetworkAddress]:
+        """Look up ``key`` at one specific holder (used when the discovery
+        route terminates at a replica rather than the primary owner)."""
+        rec = self._stores.get(holder, {}).get(key)
+        if rec is not None and rec.fresh(now):
+            return rec.addr
+        return None
+
+    def withdraw(self, key: int) -> None:
+        """Remove all records for ``key`` (the node left the system)."""
+        for h in self.holders_for(key):
+            self._stores.get(h, {}).pop(key, None)
+
+    def records_at(self, holder: int) -> Dict[int, LocationRecord]:
+        """All records a holder currently stores (the Figure-3 notion of
+        per-node *responsibility*)."""
+        return dict(self._stores.get(holder, {}))
+
+    def holder_load(self) -> Dict[int, int]:
+        """record count per stationary holder — responsibility measured."""
+        return {h: len(recs) for h, recs in self._stores.items()}
+
+    def rebalance_after_membership_change(self, all_keys: Iterable[int], now: float) -> None:
+        """Re-place every record on the holders implied by the current
+        stationary membership (called after stationary churn)."""
+        existing: Dict[int, LocationRecord] = {}
+        for recs in self._stores.values():
+            for k, rec in recs.items():
+                cur = existing.get(k)
+                if cur is None or rec.published_at > cur.published_at:
+                    existing[k] = rec
+        self._stores.clear()
+        for k, rec in existing.items():
+            for h in self.holders_for(k):
+                self._stores.setdefault(h, {})[k] = rec
+
+
+class RegistrationManager:
+    """Register / unregister bookkeeping (§2.3.1).
+
+    The default interest relation mirrors the paper: a node X registers to
+    the mobile nodes whose state-pairs X replicates — i.e. to its mobile
+    overlay neighbours.  ``R(Y)`` is then the reverse-neighbour set of Y,
+    of expected size O((M/N)·log N)·(N/M) ... = O(log N) per mobile node.
+    """
+
+    def __init__(self, nodes: Dict[int, BristleNode]) -> None:
+        self._nodes = nodes
+        self.registration_count = 0
+
+    def register(self, registrant: int, target: int, now: float = 0.0) -> None:
+        """``registrant`` declares interest in ``target``'s movement."""
+        reg = self._nodes[registrant]
+        tgt = self._nodes[target]
+        tgt.register(
+            RegistryEntry(key=registrant, capacity=reg.capacity, registered_at=now)
+        )
+        reg.subscriptions.add(target)
+        self.registration_count += 1
+
+    def unregister(self, registrant: int, target: int) -> None:
+        """Withdraw ``registrant``'s interest in ``target``."""
+        self._nodes[target].unregister(registrant)
+        self._nodes[registrant].subscriptions.discard(target)
+
+    def register_from_overlay(self, overlay: Overlay, *, mobile_only: bool = True) -> int:
+        """Derive registrations from overlay state replication.
+
+        For every member X and every neighbour Y in X's routing state, X
+        registers to Y (when ``mobile_only``, only to mobile Y — §2.3.1:
+        "X can register itself to those mobile nodes only").  Returns the
+        number of registrations issued.
+        """
+        issued = 0
+        for key in overlay.keys:
+            x = int(key)
+            for y in overlay.neighbors_of(x):
+                tgt = self._nodes.get(y)
+                if tgt is None:
+                    continue
+                if mobile_only and not tgt.mobile:
+                    continue
+                self.register(x, y)
+                issued += 1
+        return issued
+
+    def registry_sizes(self, *, mobile_only: bool = True) -> List[int]:
+        """|R(i)| for every (mobile) node — the §2.3.1 scaling claim."""
+        out = []
+        for node in self._nodes.values():
+            if mobile_only and not node.mobile:
+                continue
+            out.append(len(node.registry))
+        return out

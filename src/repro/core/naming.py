@@ -1,0 +1,162 @@
+"""Naming schemes: scrambled vs clustered hash-key assignment (§3).
+
+Under the **scrambled** scheme every node draws a uniform key, so "a route
+may frequently need state discovery for resolving network addresses of
+mobile nodes" (Fig 6a).  The **clustered** scheme assigns a stationary node
+a key ``k_S`` with ``0 < L ≤ k_S ≤ U < ρ`` and a mobile node a key ``k_M``
+outside ``[L, U]``, sized so that ``(U − L)/ρ = ∇ ≈ (N − M)/N`` — routes
+between stationary nodes can then "possibly utilize the paths comprising of
+stationary nodes" (Fig 6b), and §3's eq. (1) shows they *always* can when
+∇ ≥ 1/2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+import numpy as np
+
+from ..overlay.keyspace import KeySpace
+from ..sim.rng import RngStreams
+
+__all__ = ["NameAssignment", "ScrambledNaming", "ClusteredNaming", "make_naming"]
+
+
+@dataclasses.dataclass(frozen=True)
+class NameAssignment:
+    """Keys produced by a naming scheme.
+
+    ``stationary_keys[i]`` / ``mobile_keys[j]`` are the hash keys of the
+    i-th stationary and j-th mobile node; all keys are distinct.
+    """
+
+    stationary_keys: List[int]
+    mobile_keys: List[int]
+
+    @property
+    def all_keys(self) -> List[int]:
+        return self.stationary_keys + self.mobile_keys
+
+
+class ScrambledNaming:
+    """Uniform keys for everyone — mobility-oblivious (Fig 6a)."""
+
+    name = "scrambled"
+
+    def __init__(self, space: KeySpace) -> None:
+        self.space = space
+
+    def assign(self, num_stationary: int, num_mobile: int, rng: RngStreams) -> NameAssignment:
+        """Draw ``num_stationary + num_mobile`` distinct uniform keys and
+        split them arbitrarily (uniformity makes the split immaterial)."""
+        total = num_stationary + num_mobile
+        if num_stationary < 1:
+            raise ValueError("need at least one stationary node")
+        keys = self.space.random_keys(rng, "naming", total)
+        return NameAssignment(
+            stationary_keys=[int(k) for k in keys[:num_stationary]],
+            mobile_keys=[int(k) for k in keys[num_stationary:]],
+        )
+
+    def is_stationary_key(self, key: int) -> bool:  # pragma: no cover - trivial
+        """Scrambled naming encodes nothing in the key."""
+        raise NotImplementedError("scrambled keys carry no mobility information")
+
+
+class ClusteredNaming:
+    """Mobility-clustered keys (§3).
+
+    Parameters
+    ----------
+    space:
+        The identifier ring.
+    nabla:
+        The stationary fraction ∇ = (U − L)/ρ.  Callers normally pass
+        ``(N − M)/N``; :meth:`for_population` does that arithmetic.
+    low:
+        The lower bound ``L`` (defaults to centring the stationary band:
+        L = (ρ − span)/2, which keeps both mobile sub-ranges non-empty).
+    """
+
+    name = "clustered"
+
+    def __init__(self, space: KeySpace, nabla: float, low: int | None = None) -> None:
+        if not 0.0 < nabla <= 1.0:
+            raise ValueError(f"nabla must be in (0, 1], got {nabla}")
+        self.space = space
+        self.nabla = float(nabla)
+        span = max(1, int(round(nabla * space.size)))
+        span = min(span, space.size - 2)  # keep room for mobile keys and L > 0
+        if low is None:
+            low = max(1, (space.size - span) // 2)
+        if not 0 < low:
+            raise ValueError("L must be positive (paper: 0 < L)")
+        high = low + span
+        if high >= space.size - 1:
+            high = space.size - 2
+        if high <= low:
+            raise ValueError("stationary range collapsed; increase key_bits")
+        #: inclusive stationary band [L, U]
+        self.low = low
+        self.high = high
+
+    @classmethod
+    def for_population(
+        cls, space: KeySpace, num_stationary: int, num_mobile: int
+    ) -> "ClusteredNaming":
+        """Build with ∇ = (N − M)/N for the given population."""
+        total = num_stationary + num_mobile
+        if num_stationary < 1:
+            raise ValueError("need at least one stationary node")
+        return cls(space, nabla=num_stationary / total)
+
+    def is_stationary_key(self, key: int) -> bool:
+        """True for keys inside the stationary band [L, U]."""
+        return self.low <= key <= self.high
+
+    def assign(self, num_stationary: int, num_mobile: int, rng: RngStreams) -> NameAssignment:
+        """Stationary keys uniform in [L, U]; mobile keys uniform outside."""
+        stat = self.space.random_keys_in_range(
+            rng, "naming.stationary", num_stationary, self.low, self.high
+        )
+        mobile: List[int] = []
+        if num_mobile:
+            # The mobile region is [0, L) ∪ (U, ρ); draw uniformly over its
+            # total measure by drawing offsets into the combined length.
+            left = self.low  # size of [0, L)
+            right = self.space.size - self.high - 1  # size of (U, ρ)
+            if left + right < num_mobile:
+                raise ValueError(
+                    f"mobile region of size {left + right} cannot hold "
+                    f"{num_mobile} distinct keys"
+                )
+            offsets = self._draw_unique_offsets(rng, num_mobile, left + right)
+            for off in offsets:
+                if off < left:
+                    mobile.append(int(off))
+                else:
+                    mobile.append(int(self.high + 1 + (off - left)))
+        return NameAssignment(
+            stationary_keys=[int(k) for k in stat], mobile_keys=mobile
+        )
+
+    def _draw_unique_offsets(self, rng: RngStreams, count: int, measure: int) -> np.ndarray:
+        gen = rng.stream("naming.mobile")
+        offs = np.unique(gen.integers(0, measure, size=count, dtype=np.uint64))
+        while offs.size < count:
+            extra = gen.integers(0, measure, size=count - offs.size, dtype=np.uint64)
+            offs = np.unique(np.concatenate([offs, extra]))
+        gen.shuffle(offs)
+        return offs[:count]
+
+
+def make_naming(
+    name: str, space: KeySpace, num_stationary: int, num_mobile: int
+):
+    """Instantiate the naming scheme called ``name`` for a population."""
+    if name == "scrambled":
+        return ScrambledNaming(space)
+    if name == "clustered":
+        return ClusteredNaming.for_population(space, num_stationary, num_mobile)
+    raise ValueError(f"unknown naming scheme {name!r}")

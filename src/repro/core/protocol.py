@@ -1,0 +1,292 @@
+"""Message-level protocol simulation on the discrete-event engine.
+
+The batch experiments (Figures 7–9) account hops and path costs
+analytically; this module runs the same protocols as *timed messages* so
+latency-level questions can be asked: how long does an LDT advertisement
+wave take to reach every registrant?  How long does a discovery
+round-trip take?  Message latency between two nodes is their underlay
+shortest-path weight (times ``latency_scale``), the same metric §4.1
+charges per application-level hop.
+
+The two protocol drivers:
+
+* :class:`AdvertisementWave` — a Fig-4 LDT multicast propagated level by
+  level: the root sends to each partition head, each head forwards to its
+  children on arrival, and the wave completes when the last registrant
+  holds the new address.  Makespan = deepest latency chain, the timed
+  counterpart of the ``O(log_k log N)`` depth bound.
+* :class:`DiscoveryExchange` — a Fig-2 ``_discovery``: hop-by-hop routing
+  of the query through the stationary layer to the record holder, then a
+  direct reply.  Round-trip time = query path latency + reply latency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+from ..sim.engine import Engine
+from ..sim.events import EventKind
+from ..sim.metrics import MetricsRegistry
+from ..sim.trace import NULL_TRACER, Tracer
+from .bristle import BristleNetwork
+from .ldt import LDTree
+
+__all__ = ["BristleProtocol", "AdvertisementWave", "DiscoveryExchange"]
+
+
+@dataclasses.dataclass
+class AdvertisementWave:
+    """State of one in-flight LDT multicast.
+
+    Attributes
+    ----------
+    root_key:
+        The advertising mobile node.
+    started_at:
+        Virtual time the wave began.
+    arrival_times:
+        member key → virtual time its copy of the update arrived.
+    expected:
+        Number of registrants the wave must reach.
+    """
+
+    root_key: int
+    started_at: float
+    expected: int
+    arrival_times: Dict[int, float] = dataclasses.field(default_factory=dict)
+    on_complete: Optional[Callable[["AdvertisementWave"], None]] = None
+
+    @property
+    def complete(self) -> bool:
+        return len(self.arrival_times) >= self.expected
+
+    @property
+    def completed_at(self) -> float:
+        """Arrival time of the last registrant (valid once complete)."""
+        if not self.arrival_times:
+            return self.started_at
+        return max(self.arrival_times.values())
+
+    @property
+    def makespan(self) -> float:
+        """Wall-clock (virtual) duration of the wave."""
+        return self.completed_at - self.started_at
+
+
+@dataclasses.dataclass
+class DiscoveryExchange:
+    """State of one in-flight discovery round-trip."""
+
+    requester: int
+    target: int
+    started_at: float
+    resolved_at: Optional[float] = None
+    address: Optional[object] = None
+    query_hops: int = 0
+    on_complete: Optional[Callable[["DiscoveryExchange"], None]] = None
+
+    @property
+    def complete(self) -> bool:
+        return self.resolved_at is not None
+
+    @property
+    def rtt(self) -> float:
+        """Round-trip time (valid once complete)."""
+        if self.resolved_at is None:
+            raise RuntimeError("discovery still in flight")
+        return self.resolved_at - self.started_at
+
+
+class BristleProtocol:
+    """Timed protocol driver over a built :class:`BristleNetwork`.
+
+    Parameters
+    ----------
+    net:
+        The network (topology, layers, directory already built).
+    engine:
+        The event engine supplying virtual time.
+    latency_scale:
+        Multiplier from underlay path weight to message latency.
+    tracer:
+        Optional :class:`Tracer` receiving per-message records.
+    """
+
+    def __init__(
+        self,
+        net: BristleNetwork,
+        engine: Engine,
+        *,
+        latency_scale: float = 1.0,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if latency_scale <= 0:
+            raise ValueError("latency_scale must be positive")
+        self.net = net
+        self.engine = engine
+        self.latency_scale = latency_scale
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    # Message primitive
+    # ------------------------------------------------------------------
+    def latency(self, src: int, dst: int) -> float:
+        """Message latency between two nodes (underlay shortest path)."""
+        return self.net.network_distance_between_keys(src, dst) * self.latency_scale
+
+    def send(self, src: int, dst: int, kind: str, deliver: Callable[[], None]) -> float:
+        """Schedule delivery of one message; returns its arrival time."""
+        arrival = self.engine.now + self.latency(src, dst)
+        self.metrics.counter(f"messages.{kind}").inc()
+        self.metrics.histogram("latency." + kind).observe(arrival - self.engine.now)
+        self.tracer.emit(self.engine.now, "send", kind=kind, src=src, dst=dst)
+        self.engine.schedule(
+            arrival, deliver, kind=EventKind.MESSAGE, label=f"{kind}:{src:#x}->{dst:#x}"
+        )
+        return arrival
+
+    # ------------------------------------------------------------------
+    # LDT advertisement (Fig 4, timed)
+    # ------------------------------------------------------------------
+    def advertise(
+        self,
+        mobile_key: int,
+        *,
+        tree: Optional[LDTree] = None,
+        on_complete: Optional[Callable[[AdvertisementWave], None]] = None,
+    ) -> AdvertisementWave:
+        """Start a timed LDT multicast of ``mobile_key``'s current address.
+
+        Returns the wave object immediately; run the engine to progress
+        it.  ``on_complete`` fires when the last registrant is reached.
+        """
+        if tree is None:
+            tree = self.net.build_ldt_for(mobile_key)
+        wave = AdvertisementWave(
+            root_key=mobile_key,
+            started_at=self.engine.now,
+            expected=tree.num_members,
+            on_complete=on_complete,
+        )
+        if tree.num_members == 0:
+            if on_complete is not None:
+                on_complete(wave)
+            return wave
+
+        def forward(sender: int) -> None:
+            for child in tree.children_of(sender):
+                self.send(
+                    sender,
+                    child,
+                    "advertise",
+                    deliver=lambda c=child: arrive(c),
+                )
+
+        def arrive(node_key: int) -> None:
+            wave.arrival_times[node_key] = self.engine.now
+            self.tracer.emit(
+                self.engine.now, "advertised", root=mobile_key, node=node_key
+            )
+            # Update the registrant's cached state-pair.
+            registrant = self.net.nodes.get(node_key)
+            if registrant is not None:
+                from ..overlay.state import StatePair
+
+                mobile_node = self.net.nodes[wave.root_key]
+                pair = registrant.state.get(wave.root_key)
+                if pair is None:
+                    registrant.state.insert(
+                        StatePair(
+                            key=wave.root_key,
+                            addr=mobile_node.address,
+                            ttl=self.net.config.state_ttl,
+                            refreshed_at=self.engine.now,
+                        )
+                    )
+                else:
+                    pair.refresh(
+                        self.engine.now,
+                        addr=mobile_node.address,
+                        ttl=self.net.config.state_ttl,
+                    )
+            forward(node_key)
+            if wave.complete:
+                self.metrics.histogram("advertise.makespan").observe(wave.makespan)
+                if wave.on_complete is not None:
+                    wave.on_complete(wave)
+
+        forward(mobile_key)
+        return wave
+
+    # ------------------------------------------------------------------
+    # Discovery (Fig 2, timed)
+    # ------------------------------------------------------------------
+    def discover(
+        self,
+        requester: int,
+        target: int,
+        *,
+        on_complete: Optional[Callable[[DiscoveryExchange], None]] = None,
+    ) -> DiscoveryExchange:
+        """Start a timed discovery for ``target``'s address.
+
+        The query routes hop-by-hop through the stationary layer (each
+        hop is a message); the holder replies directly to the requester.
+        """
+        exchange = DiscoveryExchange(
+            requester=requester,
+            target=target,
+            started_at=self.engine.now,
+            on_complete=on_complete,
+        )
+        entry = (
+            requester
+            if not self.net.is_mobile(requester)
+            else self.net.stationary_layer.owner_of(requester)
+        )
+        stat_route = self.net.stationary_layer.route(entry, target)
+        path: List[int] = ([requester] if entry != requester else []) + list(
+            stat_route.hops
+        )
+        exchange.query_hops = len(path) - 1
+
+        def reply_from(holder: int) -> None:
+            addr = self.net.directory.resolve_at(
+                holder, target, now=self.engine.now
+            ) or self.net.directory.resolve(target, now=self.engine.now)
+
+            def deliver_reply() -> None:
+                exchange.resolved_at = self.engine.now
+                exchange.address = addr
+                self.metrics.histogram("discover.rtt").observe(exchange.rtt)
+                self.tracer.emit(
+                    self.engine.now,
+                    "discovered",
+                    requester=requester,
+                    target=target,
+                    found=addr is not None,
+                )
+                if exchange.on_complete is not None:
+                    exchange.on_complete(exchange)
+
+            self.send(holder, requester, "discover-reply", deliver_reply)
+
+        def hop(index: int) -> None:
+            if index == len(path) - 1:
+                reply_from(path[-1])
+                return
+            self.send(
+                path[index],
+                path[index + 1],
+                "discover",
+                deliver=lambda: hop(index + 1),
+            )
+
+        if len(path) == 1:
+            # The requester is itself the holder.
+            reply_from(path[0])
+        else:
+            hop(0)
+        return exchange

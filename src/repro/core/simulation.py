@@ -1,0 +1,162 @@
+"""High-level live-simulation facade.
+
+Bundles the pieces a running Bristle deployment needs — network, event
+engine, timed protocol driver, mobility process and a binding policy —
+behind one object, so examples and downstream users write::
+
+    sim = LiveSimulation.create(num_stationary=100, num_mobile=50, seed=7)
+    sim.run(until=120.0)
+    print(sim.summary())
+
+instead of wiring five subsystems by hand.  All components stay
+accessible (``sim.net``, ``sim.engine``, ...) for anything the facade
+does not cover.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from ..sim.engine import Engine
+from ..sim.trace import Tracer
+from .bristle import BristleNetwork
+from .config import BristleConfig
+from .mobility import MobilityProcess
+from .protocol import BristleProtocol
+from .statebinding import BindingPolicy, EarlyBinding, LateBinding
+
+__all__ = ["LiveSimulation"]
+
+
+@dataclasses.dataclass
+class LiveSimulation:
+    """A Bristle network animated on the event engine.
+
+    Build with :meth:`create`; drive with :meth:`run`; inspect with
+    :meth:`summary`.
+    """
+
+    net: BristleNetwork
+    engine: Engine
+    protocol: BristleProtocol
+    mobility: Optional[MobilityProcess]
+    binding: Optional[BindingPolicy]
+    tracer: Tracer
+
+    @classmethod
+    def create(
+        cls,
+        num_stationary: int,
+        num_mobile: int,
+        *,
+        config: Optional[BristleConfig] = None,
+        seed: int = 1,
+        router_count: Optional[int] = None,
+        registry_size: Optional[int] = None,
+        move_rate: float = 0.0,
+        binding: str = "early",
+        latency_scale: float = 1e-3,
+        trace: bool = False,
+    ) -> "LiveSimulation":
+        """Build a fully-wired simulation.
+
+        Parameters
+        ----------
+        move_rate:
+            Per-node moves per unit time; 0 disables mobility.
+        binding:
+            ``"early"``, ``"late"`` or ``"none"``.
+        latency_scale:
+            Multiplier from path weight to message latency (the default
+            keeps protocol waves much faster than typical move gaps).
+        trace:
+            Enable the structured tracer (costs memory; default off).
+        """
+        cfg = config if config is not None else BristleConfig(seed=seed, naming="scrambled")
+        net = BristleNetwork(
+            cfg, num_stationary, num_mobile, router_count=router_count
+        )
+        net.setup_random_registrations(registry_size=registry_size)
+        engine = Engine()
+        tracer = Tracer(enabled=trace)
+        protocol = BristleProtocol(
+            net, engine, latency_scale=latency_scale, tracer=tracer
+        )
+
+        binding_policy: Optional[BindingPolicy] = None
+        if binding == "early":
+            binding_policy = EarlyBinding(net, engine)
+        elif binding == "late":
+            binding_policy = LateBinding(net, engine)
+        elif binding != "none":
+            raise ValueError(f"binding must be early/late/none, got {binding!r}")
+        if binding_policy is not None:
+            binding_policy.start()
+
+        mobility: Optional[MobilityProcess] = None
+        if move_rate > 0:
+            mobility = MobilityProcess(
+                net=net,
+                engine=engine,
+                rate=move_rate,
+                advertise=False,
+                on_move=lambda rep: protocol.advertise(rep.key),
+            )
+            mobility.start()
+        return cls(
+            net=net,
+            engine=engine,
+            protocol=protocol,
+            mobility=mobility,
+            binding=binding_policy,
+            tracer=tracer,
+        )
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def run(self, until: float) -> float:
+        """Advance virtual time to ``until``; returns the final time."""
+        result = self.engine.run(until=until)
+        self.net.now = self.engine.now
+        return result
+
+    def stop(self) -> None:
+        """Silence mobility and binding refreshes (pending events drain)."""
+        if self.mobility is not None:
+            self.mobility.stop()
+        if self.binding is not None:
+            self.binding.stop()
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def cache_warmness(self) -> float:
+        """Fraction of (registrant, mobile) caches holding the current
+        address right now."""
+        warm = total = 0
+        for mk in self.net.mobile_keys:
+            node = self.net.nodes[mk]
+            for entry in node.registry_entries():
+                total += 1
+                cached = self.net.nodes[entry.key].state.get(mk)
+                if cached is not None and cached.addr == node.address:
+                    warm += 1
+        return warm / total if total else 1.0
+
+    def summary(self) -> Dict[str, float]:
+        """One-glance state of the simulation."""
+        out: Dict[str, float] = {
+            "virtual_time": self.engine.now,
+            "events_dispatched": float(self.engine.dispatched),
+            "nodes": float(self.net.num_nodes),
+            "mobile_nodes": float(self.net.num_mobile),
+            "moves": float(self.mobility.moves_performed) if self.mobility else 0.0,
+            "cache_warmness": self.cache_warmness(),
+        }
+        for name, counter in self.protocol.metrics.counters.items():
+            out[name] = float(counter.value)
+        if self.binding is not None:
+            out["binding_messages"] = float(self.binding.stats.total_messages)
+        return out

@@ -1,0 +1,163 @@
+"""Early and late state binding over TTL leases (§2.3.2).
+
+Every state a mobile-layer node caches is leased.  Under **early
+binding** both sides refresh proactively: the mobile node periodically
+publishes its state to its registry nodes, and each registry node
+periodically re-registers.  Under **late binding** a registry node that
+missed the periodic advertisement (because it was itself moving) resolves
+the address reactively with a discovery message.
+
+:class:`BindingPolicy` drives both behaviours against a simulation engine
+and records how many refreshes/discoveries each policy costs — the
+trade-off the Table-1 "performance vs reliability" row captures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List
+
+from ..sim.engine import Engine
+from .bristle import BristleNetwork
+
+__all__ = ["BindingPolicy", "EarlyBinding", "LateBinding", "BindingStats"]
+
+
+@dataclasses.dataclass
+class BindingStats:
+    """Message accounting for a binding policy run."""
+
+    advertisements: int = 0
+    registrations: int = 0
+    discoveries: int = 0
+    publishes: int = 0
+
+    @property
+    def total_messages(self) -> int:
+        return (
+            self.advertisements
+            + self.registrations
+            + self.discoveries
+            + self.publishes
+        )
+
+
+class BindingPolicy:
+    """Base: owns the stats and the refresh plumbing."""
+
+    def __init__(self, net: BristleNetwork, engine: Engine) -> None:
+        self.net = net
+        self.engine = engine
+        self.stats = BindingStats()
+        self._cancels: List[Callable[[], None]] = []
+
+    def start(self) -> None:
+        """Install the policy's periodic behaviour on the engine."""
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        """Cancel the policy's periodic work."""
+        for cancel in self._cancels:
+            cancel()
+        self._cancels.clear()
+
+    def lookup(self, registrant: int, mobile_key: int) -> bool:
+        """A registry node needs the mobile node's address *now*.
+
+        Returns True when the locally-cached state suffices, False when
+        the policy had to (or could not) take remedial action.
+        """
+        raise NotImplementedError
+
+
+class EarlyBinding(BindingPolicy):
+    """Proactive refresh on both sides.
+
+    "Each mobile periodically publishes its state to the registry nodes
+    and each registry node also periodically registers itself to the
+    mobile node it interested in." (§2.3.2)
+    """
+
+    def start(self) -> None:
+        """Install the periodic two-sided refresh."""
+        period = self.net.config.refresh_period
+        self._cancels.append(
+            self.engine.schedule_every(period, self._refresh_all, label="early-binding")
+        )
+
+    def _refresh_all(self) -> None:
+        net = self.net
+        net.now = self.engine.now
+        for mk in net.mobile_keys:
+            node = net.nodes[mk]
+            # §2.3.1 note (2): besides the LDT advertisement, the node
+            # "also publishes its state to the location management layer"
+            # so reactive discovery never sees an expired record.
+            holders = net.directory.publish(
+                mk, node.address, now=self.engine.now, ttl=net.config.state_ttl
+            )
+            self.stats.publishes += len(holders)
+            if not node.registry:
+                continue
+            # Mobile node advertises its state down the LDT...
+            tree = net.build_ldt_for(mk)
+            self.stats.advertisements += tree.message_count
+            for entry in node.registry_entries():
+                registrant = net.nodes.get(entry.key)
+                if registrant is None:
+                    continue
+                # ...registry nodes' caches are renewed...
+                st = registrant.state.get(mk)
+                if st is None:
+                    from ..overlay.state import StatePair
+
+                    st = registrant.state.insert(
+                        StatePair(key=mk, addr=node.address, ttl=net.config.state_ttl)
+                    )
+                st.refresh(self.engine.now, addr=node.address, ttl=net.config.state_ttl)
+                # ...and each registry node re-registers (one message each).
+                self.stats.registrations += 1
+
+    def lookup(self, registrant: int, mobile_key: int) -> bool:
+        """True when the proactively-refreshed cache is usable."""
+        st = self.net.nodes[registrant].state.get(mobile_key)
+        return st is not None and st.is_resolved(self.engine.now)
+
+
+class LateBinding(BindingPolicy):
+    """Reactive resolution: no periodic advertisement; a registry node
+    that finds its cached state expired issues a discovery (§2.3.2:
+    "The registry node can thus issue a discovery message to the location
+    management layer to resolve the network address of the mobile
+    node.")."""
+
+    def start(self) -> None:
+        """Late binding installs no periodic work."""
+        # Late binding installs no periodic work.
+        return
+
+    def lookup(self, registrant: int, mobile_key: int) -> bool:
+        """Serve from cache, else resolve reactively via discovery."""
+        net = self.net
+        node = net.nodes[registrant]
+        st = node.state.get(mobile_key)
+        if st is not None and st.is_resolved(self.engine.now):
+            return True
+        disc = net.discover(registrant, mobile_key)
+        self.stats.discoveries += 1
+        if not disc.found:
+            return False
+        from ..overlay.state import StatePair
+
+        if st is None:
+            node.state.insert(
+                StatePair(
+                    key=mobile_key,
+                    addr=disc.address,
+                    ttl=net.config.state_ttl,
+                    refreshed_at=self.engine.now,
+                )
+            )
+        else:
+            st.refresh(self.engine.now, addr=disc.address, ttl=net.config.state_ttl)
+        return False

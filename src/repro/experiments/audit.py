@@ -1,0 +1,236 @@
+"""Claims audit: every checkable statement in the paper, verified in one run.
+
+Each :class:`Claim` couples a quotation (or paraphrase) from the paper
+with a predicate over freshly-run experiment tables.  ``run_audit()``
+executes the minimal set of experiments, evaluates every claim and
+returns a PASS/FAIL report — the repository's one-command answer to
+"does the reproduction actually support what the paper says?".
+
+Exposed on the CLI as ``python -m repro audit``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import traceback
+from typing import Callable, Dict, List, Optional
+
+from .common import ResultTable
+from .report import run_all
+
+__all__ = ["Claim", "ClaimResult", "CLAIMS", "run_audit", "render_audit"]
+
+@dataclasses.dataclass(frozen=True)
+class Claim:
+    """One checkable statement."""
+
+    section: str
+    text: str
+    #: experiment names the predicate reads
+    needs: List[str]
+    check: Callable[[Dict[str, ResultTable]], bool]
+
+
+@dataclasses.dataclass
+class ClaimResult:
+    claim: Claim
+    passed: bool
+    error: Optional[str] = None
+
+
+def _c(section: str, text: str, needs: List[str]):
+    def wrap(fn: Callable[[Dict[str, ResultTable]], bool]) -> Claim:
+        return Claim(section=section, text=text, needs=needs, check=fn)
+
+    return wrap
+
+
+CLAIMS: List[Claim] = [
+    _c("§1/Table 1", "Type A cannot guarantee end-to-end semantics", ["table1"])(
+        lambda t: t["table1"].row_where("architecture", "Type A")["end-to-end delivery"]
+        == 0.0
+    ),
+    _c("§1/Table 1", "Bristle guarantees end-to-end semantics transparently", ["table1"])(
+        lambda t: t["table1"].row_where("architecture", "Bristle")["end-to-end delivery"]
+        == 1.0
+    ),
+    _c(
+        "§1/Table 1",
+        "Type B (Mobile IP) reliability is poor: home agents are critical "
+        "points of failure",
+        ["table1"],
+    )(
+        lambda t: t["table1"].row_where("architecture", "Type B")[
+            "delivery w/ 20% infra failure"
+        ]
+        < t["table1"].row_where("architecture", "Bristle")["delivery w/ 20% infra failure"]
+    ),
+    _c(
+        "§1/Table 1",
+        "Mobile IP's triangular route makes Type B performance poor; Bristle "
+        "routes directly once resolved",
+        ["table1"],
+    )(
+        lambda t: t["table1"].row_where("architecture", "Bristle")["warm path cost"]
+        < t["table1"].row_where("architecture", "Type B")["warm path cost"]
+    ),
+    _c(
+        "§2.3/Fig 3",
+        "Non-member-only LDTs cost (log N)× the member-only responsibility",
+        ["fig3"],
+    )(lambda t: all(15 <= r["ratio"] <= 25 for r in t["fig3"].rows)),
+    _c(
+        "§2.3/Fig 3",
+        "Member-only LDTs drastically reduce responsibility (measured on "
+        "real trees)",
+        ["fig3-trees"],
+    )(lambda t: all(r["resp ratio"] > 1.5 for r in t["fig3-trees"].rows)),
+    _c(
+        "§2.3.1",
+        "A LDT has O(log N) members",
+        ["fig3-trees"],
+    )(lambda t: all(r["member tree size"] <= 2 * 12 for r in t["fig3-trees"].rows)),
+    _c(
+        "§2.3.2",
+        "Lookup takes O(log N) hops and O(log N) state per node",
+        ["bounds-hops"],
+    )(
+        lambda t: max(t["bounds-hops"].column("hops/log2 N"))
+        / min(t["bounds-hops"].column("hops/log2 N"))
+        < 2.0
+    ),
+    _c(
+        "§2.3.2",
+        "State advertisement completes in O(log_k log N) hops",
+        ["bounds-ldt"],
+    )(
+        lambda t: all(
+            r["mean depth"] <= r["bound log_k(log N)"] + 2.0 for r in t["bounds-ldt"].rows
+        )
+    ),
+    _c(
+        "§2.3.2",
+        "Routes stay adaptive under failures via multiple neighbour paths",
+        ["ext-adaptive"],
+    )(
+        lambda t: all(
+            r["adaptive delivery"] > r["greedy delivery"] for r in t["ext-adaptive"].rows
+        )
+    ),
+    _c(
+        "§3/Fig 7",
+        "The clustered naming scheme is superior to the scrambled scheme",
+        ["fig7"],
+    )(
+        lambda t: all(
+            r["hops clustered"] <= r["hops scrambled"] + 1e-9
+            for r in t["fig7"].rows
+            if r["M/N (%)"] > 0
+        )
+    ),
+    _c(
+        "§3/Fig 7",
+        "RDP grows with the mobile fraction",
+        ["fig7"],
+    )(lambda t: t["fig7"].rows[-1]["RDP hops"] > t["fig7"].rows[0]["RDP hops"] + 0.2),
+    _c(
+        "§4.1/Fig 7",
+        "Hop-RDP and cost-RDP are close",
+        ["fig7"],
+    )(
+        lambda t: all(
+            abs(r["RDP hops"] - r["RDP cost"]) / r["RDP cost"] < 0.35
+            for r in t["fig7"].rows
+            if r["M/N (%)"] > 0
+        )
+    ),
+    _c(
+        "§3 eq. (1)",
+        "With stationary nodes >= mobile nodes, stationary routes can avoid "
+        "address resolution (knee at M/N = 50%)",
+        ["bounds-eq1"],
+    )(
+        lambda t: t["bounds-eq1"].rows[0]["routes w/ resolution (%)"] < 15.0
+        and t["bounds-eq1"].rows[-1]["routes w/ resolution (%)"]
+        > 2 * t["bounds-eq1"].rows[0]["routes w/ resolution (%)"]
+    ),
+    _c(
+        "§4.2/Fig 8",
+        "LDT depth adapts to capacity: homogeneous weak nodes form chains, "
+        "capable mixes flatten the tree",
+        ["fig8a"],
+    )(
+        lambda t: t["fig8a"].row_where("MAX", 1)["mean depth"]
+        > 3 * t["fig8a"].row_where("MAX", 15)["mean depth"]
+    ),
+    _c(
+        "§4.2/Fig 8",
+        "A LDT is dynamically structured based on the participating nodes' "
+        "workloads (heavy load lengthens the tree)",
+        ["fig8-workload"],
+    )(
+        lambda t: t["fig8-workload"].rows[-1]["mean depth"]
+        > 2 * t["fig8-workload"].rows[0]["mean depth"]
+    ),
+    _c(
+        "§2.1",
+        "Clustered naming keeps routes O(log N) end-to-end as N grows",
+        ["ext-scaling"],
+    )(
+        lambda t: max(t["ext-scaling"].column("clustered / log2 N"))
+        / min(t["ext-scaling"].column("clustered / log2 N"))
+        < 1.3
+    ),
+    _c(
+        "§1",
+        "Node mobility causes unavailability of stored data in Type A; "
+        "Bristle retains the old state",
+        ["ext-data"],
+    )(
+        lambda t: all(r["Bristle availability"] == 1.0 for r in t["ext-data"].rows)
+        and t["ext-data"].rows[-1]["Type A availability"] < 0.7
+    ),
+    _c(
+        "§4.3/Fig 9",
+        "Locality-aware LDTs are cheaper and improve as nodes are added; "
+        "random trees stay expensive",
+        ["fig9"],
+    )(
+        lambda t: all(
+            r["with locality"] < r["without locality"] for r in t["fig9"].rows
+        )
+        and t["fig9"].column("with locality")[-1] < t["fig9"].column("with locality")[0]
+    ),
+]
+
+
+def run_audit(
+    scale: str = "quick", claims: Optional[List[Claim]] = None
+) -> List[ClaimResult]:
+    """Run the needed experiments once and evaluate every claim."""
+    selected = claims if claims is not None else CLAIMS
+    needed = sorted({name for c in selected for name in c.needs})
+    tables = run_all(scale=scale, names=needed)
+    results: List[ClaimResult] = []
+    for claim in selected:
+        try:
+            passed = bool(claim.check(tables))
+            results.append(ClaimResult(claim=claim, passed=passed))
+        except Exception:
+            results.append(
+                ClaimResult(claim=claim, passed=False, error=traceback.format_exc(limit=2))
+            )
+    return results
+
+
+def render_audit(results: List[ClaimResult]) -> str:
+    """Human-readable PASS/FAIL report."""
+    lines = ["== Paper claims audit =="]
+    passed = sum(1 for r in results if r.passed)
+    for r in results:
+        mark = "PASS" if r.passed else "FAIL"
+        lines.append(f"[{mark}] {r.claim.section}: {r.claim.text}")
+        if r.error:
+            lines.append(f"       error: {r.error.splitlines()[-1]}")
+    lines.append(f"-- {passed}/{len(results)} claims supported --")
+    return "\n".join(lines)

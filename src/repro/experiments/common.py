@@ -1,0 +1,88 @@
+"""Shared experiment infrastructure: result tables and text rendering.
+
+Every experiment returns a :class:`ResultTable` — named columns plus rows —
+which the benchmark harness prints in the same shape as the paper's
+figures/tables, and which tests assert against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List
+
+__all__ = ["ResultTable", "format_float"]
+
+
+def format_float(x: Any, precision: int = 3) -> str:
+    """Compact numeric formatting for table cells."""
+    if isinstance(x, float):
+        if x != x:  # NaN
+            return "nan"
+        if x == int(x) and abs(x) < 1e15:
+            return str(int(x))
+        return f"{x:.{precision}f}"
+    return str(x)
+
+
+@dataclasses.dataclass
+class ResultTable:
+    """A titled table of experiment results.
+
+    Attributes
+    ----------
+    title:
+        The table/figure it reproduces, e.g. ``"Figure 7(a)"``.
+    columns:
+        Column names, in display order.
+    rows:
+        One dict per row; missing cells render as ``""``.
+    notes:
+        Free-form caption lines (setup parameters, caveats).
+    """
+
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+    notes: List[str] = dataclasses.field(default_factory=list)
+
+    def add_row(self, **cells: Any) -> None:
+        """Append a row; unknown column names are rejected."""
+        unknown = set(cells) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)}; declared {self.columns}")
+        self.rows.append(dict(cells))
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column (missing cells become ``None``)."""
+        if name not in self.columns:
+            raise KeyError(f"no column {name!r}")
+        return [r.get(name) for r in self.rows]
+
+    def row_where(self, column: str, value: Any) -> Dict[str, Any]:
+        """The first row whose ``column`` equals ``value``."""
+        for r in self.rows:
+            if r.get(column) == value:
+                return r
+        raise KeyError(f"no row with {column}={value!r}")
+
+    def render(self, precision: int = 3) -> str:
+        """Fixed-width text rendering (what the benches print)."""
+        header = [str(c) for c in self.columns]
+        body = [
+            [format_float(r.get(c, ""), precision) for c in self.columns]
+            for r in self.rows
+        ]
+        widths = [
+            max(len(header[i]), *(len(row[i]) for row in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [f"== {self.title} =="]
+        lines.extend("   " + note for note in self.notes)
+        lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

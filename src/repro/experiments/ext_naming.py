@@ -1,0 +1,91 @@
+"""Extension experiment: where should the stationary band sit? (§3)
+
+The paper fixes only the band *width* (``U − L = ∇·ρ``) and leaves its
+*position* open ("L and U are the pre-defined system parameters").  The
+position matters: greedy ring routing wraps past key 0, so a band pushed
+against the ring origin (L ≈ 1, all mobile keys above U) exposes a
+different wrap geometry than a centred band (mobile keys split across
+both ends).  This ablation measures Figure-7-style stationary→stationary
+routes for both placements.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.bristle import BristleNetwork
+from ..core.config import BristleConfig
+from ..core.mobility import shuffle_all_mobile
+from ..core.naming import ClusteredNaming
+from ..core.routing import route_with_resolution
+from ..overlay.keyspace import KeySpace
+from ..workloads.routes import sample_stationary_pairs
+from .common import ResultTable
+
+__all__ = ["BandPlacementParams", "run_band_placement"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BandPlacementParams:
+    num_stationary: int = 250
+    fractions: Sequence[float] = (0.3, 0.5, 0.7)
+    routes: int = 400
+    router_count: int = 300
+    seed: int = 41
+
+
+def run_band_placement(params: Optional[BandPlacementParams] = None) -> ResultTable:
+    """Centred vs origin-anchored stationary bands under clustered naming."""
+    p = params if params is not None else BandPlacementParams()
+    table = ResultTable(
+        title="Extension — clustered-band placement ablation",
+        columns=[
+            "M/N (%)",
+            "centred hops",
+            "origin hops",
+            "centred res",
+            "origin res",
+        ],
+        notes=[
+            f"{p.num_stationary} stationary nodes, {p.routes} routes per "
+            "point; 'centred' puts the band mid-ring (mobile keys at both "
+            "ends), 'origin' anchors L ≈ 1 (all mobile keys above U)",
+        ],
+    )
+    for frac in p.fractions:
+        num_mobile = int(round(p.num_stationary * frac / (1 - frac)))
+        results = {}
+        for placement in ("centred", "origin"):
+            cfg = BristleConfig(seed=p.seed, naming="clustered", p_stale=1.0)
+            space = KeySpace(bits=cfg.key_bits, digit_bits=cfg.digit_bits)
+            nabla = p.num_stationary / (p.num_stationary + num_mobile)
+            low = None if placement == "centred" else 1
+            scheme = ClusteredNaming(space, nabla=nabla, low=low)
+            net = BristleNetwork(
+                cfg,
+                p.num_stationary,
+                num_mobile,
+                router_count=p.router_count,
+                naming_scheme=scheme,
+            )
+            shuffle_all_mobile(net)
+            pairs = sample_stationary_pairs(net.stationary_keys, p.routes, net.rng)
+            hops, res = [], []
+            for s, t in pairs:
+                trace = route_with_resolution(net, s, t)
+                hops.append(trace.app_hops)
+                res.append(trace.resolutions)
+            results[placement] = (float(np.mean(hops)), float(np.mean(res)))
+        table.add_row(
+            **{
+                "M/N (%)": round(100 * frac, 1),
+                "centred hops": results["centred"][0],
+                "origin hops": results["origin"][0],
+                "centred res": results["centred"][1],
+                "origin res": results["origin"][1],
+            }
+        )
+    return table

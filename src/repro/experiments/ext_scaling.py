@@ -1,0 +1,75 @@
+"""Extension experiment: Bristle end-to-end scaling in N.
+
+The paper's §2.1 promise: with the clustered naming scheme, a
+stationary→stationary route costs ``O(log N)`` application-level hops
+even with address resolutions, versus ``O((log N)^2)`` in the naive
+design.  This sweep grows the population at a fixed mobile share and
+measures the full Fig-2 routing pipeline — if the architecture delivers,
+hops divided by ``log₂ N`` stay bounded for the clustered scheme while
+the scrambled scheme's normalised cost keeps creeping up (its per-route
+resolutions scale with the hop count itself).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.bristle import BristleNetwork
+from ..core.config import BristleConfig
+from ..core.mobility import shuffle_all_mobile
+from ..core.routing import route_with_resolution
+from ..workloads.routes import sample_stationary_pairs
+from .common import ResultTable
+
+__all__ = ["ScalingParams", "run_scaling"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalingParams:
+    sizes: Sequence[int] = (250, 500, 1000, 2000)
+    mobile_share: float = 0.5
+    routes: int = 400
+    seed: int = 47
+
+
+def run_scaling(params: Optional[ScalingParams] = None) -> ResultTable:
+    """Route hops vs N for both naming schemes at fixed M/N."""
+    p = params if params is not None else ScalingParams()
+    if not 0.0 <= p.mobile_share < 1.0:
+        raise ValueError("mobile_share must be in [0, 1)")
+    table = ResultTable(
+        title="Extension — end-to-end scaling in N (fixed M/N)",
+        columns=[
+            "N",
+            "log2 N",
+            "hops scrambled",
+            "hops clustered",
+            "scrambled / log2 N",
+            "clustered / log2 N",
+        ],
+        notes=[
+            f"mobile share {p.mobile_share:.0%}, {p.routes} routes per point, "
+            "cold caches (p_stale = 1)",
+        ],
+    )
+    for n in p.sizes:
+        num_mobile = int(round(n * p.mobile_share))
+        num_stationary = n - num_mobile
+        row = {"N": n, "log2 N": math.log2(n)}
+        for naming in ("scrambled", "clustered"):
+            cfg = BristleConfig(seed=p.seed, naming=naming, p_stale=1.0)
+            net = BristleNetwork(
+                cfg, num_stationary, num_mobile, router_count=max(150, n // 3)
+            )
+            shuffle_all_mobile(net)
+            pairs = sample_stationary_pairs(net.stationary_keys, p.routes, net.rng)
+            hops = [route_with_resolution(net, s, t).app_hops for s, t in pairs]
+            row[f"hops {naming}"] = float(np.mean(hops))
+        row["scrambled / log2 N"] = row["hops scrambled"] / row["log2 N"]
+        row["clustered / log2 N"] = row["hops clustered"] / row["log2 N"]
+        table.add_row(**row)
+    return table

@@ -1,0 +1,145 @@
+"""Figure 7: scrambled vs clustered naming — application-level hops and
+relative delay penalty (§4.1).
+
+Paper setup: ``N − M = 2,000`` stationary nodes, ``M = 0..8,000`` mobile
+(M/N from 0 to 80%), nodes placed randomly on a GT-ITM transit-stub
+underlay, 10,000 sample routes between randomly picked stationary nodes.
+For each naming scheme the experiment reports the mean application-level
+hops (Fig 7a) and the mean path cost; Fig 7(b)'s RDP is the
+scrambled/clustered ratio of each, with the knee expected at M/N = 50%
+(the ∇ ≥ 1/2 bound of §3 eq. 1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core.bristle import BristleNetwork
+from ..core.config import BristleConfig
+from ..core.mobility import shuffle_all_mobile
+from ..core.routing import route_preferring_resolved, route_with_resolution
+from ..workloads.routes import sample_stationary_pairs
+from .common import ResultTable
+
+__all__ = ["Fig7Params", "measure_naming_scheme", "run_fig7"]
+
+#: The paper's M/N sweep: 0%..80% in 10% steps.
+DEFAULT_FRACTIONS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig7Params:
+    """Experiment sizing — defaults are a scaled-down but shape-preserving
+    version of the paper's setup; pass ``paper_scale()`` for full size."""
+
+    num_stationary: int = 500
+    routes: int = 2000
+    router_count: int = 600
+    fractions: Sequence[float] = DEFAULT_FRACTIONS
+    seed: int = 5
+    #: ``"greedy"`` = the plain Fig-2 rule (closest state-pair wins, the
+    #: paper's naming-oblivious default); ``"prefer_resolved"`` = §3's
+    #: "reduce the help of mobile nodes" policy, which sharpens the 50%
+    #: knee (ablation bench).
+    routing_policy: str = "greedy"
+
+    def __post_init__(self) -> None:
+        if self.routing_policy not in ("greedy", "prefer_resolved"):
+            raise ValueError(f"unknown routing policy {self.routing_policy!r}")
+
+    @staticmethod
+    def paper_scale() -> "Fig7Params":
+        """The paper's 2,000 stationary / 10,000 routes configuration."""
+        return Fig7Params(num_stationary=2000, routes=10000, router_count=2600)
+
+
+def measure_naming_scheme(
+    naming: str,
+    num_stationary: int,
+    num_mobile: int,
+    routes: int,
+    router_count: int,
+    seed: int,
+    routing_policy: str = "greedy",
+) -> Dict[str, float]:
+    """Build one network, shuffle every mobile node once (cold caches),
+    sample routes, and return the Figure-7 aggregates."""
+    cfg = BristleConfig(seed=seed, naming=naming, p_stale=1.0)
+    net = BristleNetwork(
+        cfg, num_stationary, num_mobile, router_count=router_count
+    )
+    shuffle_all_mobile(net)
+    route_fn = (
+        route_preferring_resolved if routing_policy == "prefer_resolved" else route_with_resolution
+    )
+    pairs = sample_stationary_pairs(net.stationary_keys, routes, net.rng)
+    hops = np.empty(len(pairs), dtype=np.float64)
+    costs = np.empty(len(pairs), dtype=np.float64)
+    resolutions = np.empty(len(pairs), dtype=np.float64)
+    for i, (s, t) in enumerate(pairs):
+        trace = route_fn(net, s, t)
+        hops[i] = trace.app_hops
+        costs[i] = trace.path_cost
+        resolutions[i] = trace.resolutions
+    return {
+        "hops": float(hops.mean()),
+        "cost": float(costs.mean()),
+        "resolutions": float(resolutions.mean()),
+    }
+
+
+def run_fig7(params: Optional[Fig7Params] = None) -> ResultTable:
+    """Run the full Figure-7 sweep for both naming schemes.
+
+    Columns cover both sub-figures: mean hops per scheme (7a), mean path
+    cost per scheme, and the two RDP ratios (7b).
+    """
+    p = params if params is not None else Fig7Params()
+    table = ResultTable(
+        title="Figure 7 — scrambled vs clustered naming",
+        columns=[
+            "M/N (%)",
+            "hops scrambled",
+            "hops clustered",
+            "cost scrambled",
+            "cost clustered",
+            "RDP hops",
+            "RDP cost",
+            "res scrambled",
+            "res clustered",
+        ],
+        notes=[
+            f"{p.num_stationary} stationary nodes, {p.routes} routes per point, "
+            f"~{p.router_count}-router transit-stub underlay "
+            "(paper: 2,000 stationary / 10,000 routes)",
+        ],
+    )
+    for frac in p.fractions:
+        if frac >= 1.0:
+            raise ValueError("mobile fraction must be < 1")
+        num_mobile = int(round(p.num_stationary * frac / (1.0 - frac)))
+        scr = measure_naming_scheme(
+            "scrambled", p.num_stationary, num_mobile, p.routes, p.router_count,
+            p.seed, p.routing_policy,
+        )
+        clu = measure_naming_scheme(
+            "clustered", p.num_stationary, num_mobile, p.routes, p.router_count,
+            p.seed, p.routing_policy,
+        )
+        table.add_row(
+            **{
+                "M/N (%)": round(100 * frac, 1),
+                "hops scrambled": scr["hops"],
+                "hops clustered": clu["hops"],
+                "cost scrambled": scr["cost"],
+                "cost clustered": clu["cost"],
+                "RDP hops": scr["hops"] / clu["hops"] if clu["hops"] else float("nan"),
+                "RDP cost": scr["cost"] / clu["cost"] if clu["cost"] else float("nan"),
+                "res scrambled": scr["resolutions"],
+                "res clustered": clu["resolutions"],
+            }
+        )
+    return table

@@ -1,0 +1,87 @@
+"""Result-table serialization: CSV and JSON round-trips.
+
+The benchmark harness stores rendered text; downstream analysis usually
+wants machine-readable series.  These helpers keep the dependency
+footprint at the standard library.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict
+
+from .common import ResultTable
+
+__all__ = ["table_to_csv", "table_to_json", "table_from_json", "write_table"]
+
+
+def table_to_csv(table: ResultTable) -> str:
+    """Render a table as CSV (header row = column names)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(table.columns)
+    for row in table.rows:
+        writer.writerow([row.get(c, "") for c in table.columns])
+    return buf.getvalue()
+
+
+def table_to_json(table: ResultTable, indent: int = 2) -> str:
+    """Render a table (title, notes, columns, rows) as JSON."""
+    payload: Dict[str, Any] = {
+        "title": table.title,
+        "notes": list(table.notes),
+        "columns": list(table.columns),
+        "rows": [dict(r) for r in table.rows],
+    }
+    return json.dumps(payload, indent=indent, default=_jsonify)
+
+
+def _jsonify(value: Any) -> Any:
+    # NumPy scalars sneak into rows; coerce to plain Python.
+    try:
+        return value.item()
+    except AttributeError:
+        raise TypeError(f"cannot serialise {type(value).__name__}") from None
+
+
+def table_from_json(text: str) -> ResultTable:
+    """Reconstruct a :class:`ResultTable` from :func:`table_to_json` output."""
+    payload = json.loads(text)
+    for field in ("title", "columns", "rows"):
+        if field not in payload:
+            raise ValueError(f"missing field {field!r} in table JSON")
+    table = ResultTable(
+        title=payload["title"],
+        columns=list(payload["columns"]),
+        notes=list(payload.get("notes", [])),
+    )
+    for row in payload["rows"]:
+        table.add_row(**row)
+    return table
+
+
+def write_table(table: ResultTable, path: str, fmt: str = "auto") -> None:
+    """Write a table to ``path`` as txt, csv or json.
+
+    ``fmt="auto"`` picks by extension (.csv / .json / anything-else→txt).
+    """
+    if fmt == "auto":
+        lowered = path.lower()
+        if lowered.endswith(".csv"):
+            fmt = "csv"
+        elif lowered.endswith(".json"):
+            fmt = "json"
+        else:
+            fmt = "txt"
+    if fmt == "csv":
+        text = table_to_csv(table)
+    elif fmt == "json":
+        text = table_to_json(table)
+    elif fmt == "txt":
+        text = table.render() + "\n"
+    else:
+        raise ValueError(f"unknown format {fmt!r} (txt/csv/json)")
+    with open(path, "w") as fh:
+        fh.write(text)

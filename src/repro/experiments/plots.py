@@ -1,0 +1,145 @@
+"""Text-mode charts: render ResultTable series as ASCII line/bar plots.
+
+The paper's evaluation is figures; the benches print tables.  These
+helpers close the gap for terminal consumption::
+
+    print(ascii_chart(table, x="M/N (%)",
+                      series=["hops scrambled", "hops clustered"]))
+
+draws the Figure-7(a) curves with axis labels and a legend, entirely in
+monospace text (no plotting dependency).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .common import ResultTable, format_float
+
+__all__ = ["ascii_chart", "ascii_bars"]
+
+#: Glyph per series, cycled.
+_MARKS = "*o+x#@%&"
+
+
+def _scale(
+    values: Sequence[float], lo: float, hi: float, extent: int
+) -> List[int]:
+    """Map values into [0, extent-1] (graceful on a degenerate range)."""
+    if hi <= lo:
+        return [0 for _ in values]
+    return [
+        min(extent - 1, max(0, int(round((v - lo) / (hi - lo) * (extent - 1)))))
+        for v in values
+    ]
+
+
+def ascii_chart(
+    table: ResultTable,
+    x: str,
+    series: Sequence[str],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: Optional[str] = None,
+) -> str:
+    """Render one or more numeric columns of ``table`` against column ``x``.
+
+    Rows with missing/NaN values in a series are skipped for that series.
+    Returns a multi-line string: title, plot grid with y-axis labels,
+    x-axis range, legend.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("width must be >= 10 and height >= 4")
+    xs_all = table.column(x)
+    points: Dict[str, List[Tuple[float, float]]] = {}
+    for name in series:
+        col = table.column(name)
+        pts = [
+            (float(a), float(b))
+            for a, b in zip(xs_all, col)
+            if a is not None and b is not None and not (
+                isinstance(b, float) and math.isnan(b)
+            )
+        ]
+        if pts:
+            points[name] = pts
+    if not points:
+        raise ValueError("no plottable points in the requested series")
+
+    all_x = [p[0] for pts in points.values() for p in pts]
+    all_y = [p[1] for pts in points.values() for p in pts]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_lo == y_hi:
+        y_lo, y_hi = y_lo - 1.0, y_hi + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, pts) in enumerate(points.items()):
+        mark = _MARKS[idx % len(_MARKS)]
+        cols = _scale([p[0] for p in pts], x_lo, x_hi, width)
+        rows = _scale([p[1] for p in pts], y_lo, y_hi, height)
+        # Connect consecutive points with linear interpolation.
+        for (c0, r0), (c1, r1) in zip(zip(cols, rows), zip(cols[1:], rows[1:])):
+            steps = max(abs(c1 - c0), abs(r1 - r0), 1)
+            for s in range(steps + 1):
+                c = round(c0 + (c1 - c0) * s / steps)
+                r = round(r0 + (r1 - r0) * s / steps)
+                if grid[height - 1 - r][c] == " ":
+                    grid[height - 1 - r][c] = mark
+        # Re-stamp the actual data points so they win over line fill.
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = mark
+
+    y_labels = [format_float(y_hi, 3), format_float((y_lo + y_hi) / 2, 3), format_float(y_lo, 3)]
+    label_w = max(len(s) for s in y_labels)
+    lines = []
+    lines.append(title if title is not None else table.title)
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = y_labels[0]
+        elif i == height // 2:
+            label = y_labels[1]
+        elif i == height - 1:
+            label = y_labels[2]
+        else:
+            label = ""
+        lines.append(f"{label.rjust(label_w)} |{''.join(row)}")
+    lines.append(f"{' ' * label_w} +{'-' * width}")
+    x_axis = f"{format_float(x_lo, 3)}{' ' * (width - len(format_float(x_lo, 3)) - len(format_float(x_hi, 3)))}{format_float(x_hi, 3)}"
+    lines.append(f"{' ' * label_w}  {x_axis}")
+    lines.append(f"{' ' * label_w}  x: {x}")
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {name}" for i, name in enumerate(points)
+    )
+    lines.append(f"{' ' * label_w}  {legend}")
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    table: ResultTable,
+    label: str,
+    value: str,
+    *,
+    width: int = 50,
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal bar chart of column ``value`` labelled by ``label``."""
+    labels = [str(v) for v in table.column(label)]
+    raw = table.column(value)
+    values = [float(v) if v is not None else math.nan for v in raw]
+    finite = [v for v in values if not math.isnan(v)]
+    if not finite:
+        raise ValueError("no plottable values")
+    peak = max(max(finite), 1e-12)
+    label_w = max(len(s) for s in labels)
+    lines = [title if title is not None else f"{table.title} — {value}"]
+    for name, v in zip(labels, values):
+        if math.isnan(v):
+            bar, shown = "", "nan"
+        else:
+            bar = "█" * max(0, int(round(v / peak * width)))
+            shown = format_float(v, 3)
+        lines.append(f"{name.rjust(label_w)} |{bar} {shown}")
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Underlay network substrate.
+
+Weighted router graphs, the GT-ITM-style transit-stub generator the paper
+evaluates on, Dijkstra shortest paths (the §4.1 path-cost metric), host
+addressing and placement.
+"""
+
+from .address import UNRESOLVED, NetworkAddress
+from .graph import Graph
+from .placement import Placement
+from .shortest_path import PathOracle, dijkstra_csr, reconstruct_path
+from .transit_stub import (
+    TransitStubParams,
+    TransitStubTopology,
+    generate_transit_stub,
+    params_for_router_count,
+)
+
+__all__ = [
+    "UNRESOLVED",
+    "NetworkAddress",
+    "Graph",
+    "Placement",
+    "PathOracle",
+    "dijkstra_csr",
+    "reconstruct_path",
+    "TransitStubParams",
+    "TransitStubTopology",
+    "generate_transit_stub",
+    "params_for_router_count",
+]

@@ -1,0 +1,53 @@
+"""Network addresses and attachment points.
+
+A Bristle *state-pair* is ``<hash key, network address>`` where the network
+address is "e.g., the IP address and port number" (§1).  In the simulation a
+:class:`NetworkAddress` names the router a host is currently attached to
+plus a port and an *epoch*.  The epoch increments every time the host
+moves; a cached address with a stale epoch is exactly the paper's
+"invalidated" address, and lets the simulator detect staleness without a
+global oracle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+__all__ = ["NetworkAddress", "UNRESOLVED"]
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkAddress:
+    """Immutable location of a host on the underlay.
+
+    Attributes
+    ----------
+    router:
+        Attachment-point router id in the underlay graph.
+    port:
+        Demultiplexing port (distinguishes co-located hosts).
+    epoch:
+        Movement generation of the host when this address was minted.
+        Comparing a cached address's epoch to the host's current epoch
+        reveals staleness.
+    """
+
+    router: int
+    port: int
+    epoch: int = 0
+
+    def moved(self, new_router: int) -> "NetworkAddress":
+        """Address after a move to ``new_router`` (epoch bumped)."""
+        return NetworkAddress(router=new_router, port=self.port, epoch=self.epoch + 1)
+
+    def same_location(self, other: "NetworkAddress") -> bool:
+        """True when both addresses point at the same router and port."""
+        return self.router == other.router and self.port == other.port
+
+    def __str__(self) -> str:
+        return f"{self.router}:{self.port}@e{self.epoch}"
+
+
+#: Sentinel for "address not resolved" — the paper's ``null`` address.
+UNRESOLVED: Optional[NetworkAddress] = None

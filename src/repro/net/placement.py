@@ -1,0 +1,119 @@
+"""Host placement: attaching overlay nodes to underlay routers.
+
+"Each Bristle node is randomly placed to the network" (§4).  The
+:class:`Placement` tracks which router each host currently sits on, mints
+:class:`~repro.net.address.NetworkAddress` values, and performs moves
+(random re-attachment, the mobility primitive of §2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim.rng import RngStreams
+from .address import NetworkAddress
+from .shortest_path import PathOracle
+from .transit_stub import TransitStubTopology
+
+__all__ = ["Placement"]
+
+
+class Placement:
+    """Assigns hosts to attachment points and tracks their movement.
+
+    Parameters
+    ----------
+    topology:
+        The underlay; hosts attach to its stub routers.
+    rng:
+        Random streams (stream name ``"placement"`` for initial placement,
+        ``"mobility"`` for moves).
+    """
+
+    def __init__(self, topology: TransitStubTopology, rng: RngStreams) -> None:
+        self.topology = topology
+        self._rng = rng
+        self._points: List[int] = topology.attachment_points()
+        if not self._points:
+            raise ValueError("topology offers no attachment points")
+        self._current: Dict[int, NetworkAddress] = {}
+        self._next_port = 1
+        self.move_count = 0
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def attach(self, host_id: int, router: Optional[int] = None) -> NetworkAddress:
+        """Attach ``host_id`` to ``router`` (random stub router if omitted).
+
+        Re-attaching an already-attached host raises; use :meth:`move`.
+        """
+        if host_id in self._current:
+            raise ValueError(f"host {host_id} is already attached; use move()")
+        if router is None:
+            router = self._points[self._rng.randint("placement", 0, len(self._points))]
+        addr = NetworkAddress(router=router, port=self._next_port, epoch=0)
+        self._next_port += 1
+        self._current[host_id] = addr
+        return addr
+
+    def move(self, host_id: int, router: Optional[int] = None) -> NetworkAddress:
+        """Move ``host_id`` to a new attachment point, bumping its epoch.
+
+        When ``router`` is omitted a random stub router *different from the
+        current one* is chosen (when more than one exists), modelling a real
+        change of attachment point.
+        """
+        addr = self._current.get(host_id)
+        if addr is None:
+            raise KeyError(f"host {host_id} is not attached")
+        if router is None:
+            if len(self._points) == 1:
+                router = self._points[0]
+            else:
+                while True:
+                    router = self._points[self._rng.randint("mobility", 0, len(self._points))]
+                    if router != addr.router:
+                        break
+        new_addr = addr.moved(router)
+        self._current[host_id] = new_addr
+        self.move_count += 1
+        return new_addr
+
+    def detach(self, host_id: int) -> None:
+        """Remove ``host_id`` from the placement (host left the system)."""
+        if host_id not in self._current:
+            raise KeyError(f"host {host_id} is not attached")
+        del self._current[host_id]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def address_of(self, host_id: int) -> NetworkAddress:
+        """Current address of ``host_id`` (KeyError when unattached)."""
+        return self._current[host_id]
+
+    def is_attached(self, host_id: int) -> bool:
+        """True when ``host_id`` currently has an attachment point."""
+        return host_id in self._current
+
+    def is_current(self, host_id: int, addr: NetworkAddress) -> bool:
+        """True when ``addr`` matches the host's *current* address exactly.
+
+        This is the staleness oracle: a cached address whose epoch lags the
+        host's current epoch is invalid (the paper's "p.addr is invalid").
+        """
+        cur = self._current.get(host_id)
+        return cur is not None and cur == addr
+
+    def router_of(self, host_id: int) -> int:
+        """Current attachment router of ``host_id``."""
+        return self._current[host_id].router
+
+    def hosts(self) -> List[int]:
+        """All attached host ids."""
+        return list(self._current)
+
+    def network_distance(self, oracle: PathOracle, a: int, b: int) -> float:
+        """Shortest-path weight between hosts ``a`` and ``b`` right now."""
+        return oracle.distance(self.router_of(a), self.router_of(b))

@@ -1,0 +1,34 @@
+"""Hash-based structured P2P (HS-P2P) overlay substrates.
+
+Key-space arithmetic, state-pair tables, and the five concrete overlays
+§2.1 names — Chord, Pastry, Tapestry, Tornado and CAN — any of which can
+serve as Bristle's stationary layer.
+"""
+
+from .base import Overlay, ProximityFn, RouteResult, RoutingError
+from .can import CANOverlay, Zone
+from .chord import ChordOverlay
+from .factory import OVERLAY_NAMES, make_overlay
+from .keyspace import KeySpace
+from .pastry import PastryOverlay
+from .state import StatePair, StateTable
+from .tapestry import TapestryOverlay
+from .tornado import TornadoOverlay
+
+__all__ = [
+    "Overlay",
+    "ProximityFn",
+    "RouteResult",
+    "RoutingError",
+    "CANOverlay",
+    "Zone",
+    "ChordOverlay",
+    "OVERLAY_NAMES",
+    "make_overlay",
+    "KeySpace",
+    "PastryOverlay",
+    "StatePair",
+    "StateTable",
+    "TapestryOverlay",
+    "TornadoOverlay",
+]

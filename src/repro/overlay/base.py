@@ -1,0 +1,320 @@
+"""Abstract HS-P2P overlay contract.
+
+The stationary layer "can be any HS-P2P, e.g., CAN, Chord, Pastry,
+Tapestry, Tornado" (§2.1) — Bristle only relies on a small contract, which
+this module pins down:
+
+* every node keeps ``O(log N)`` state-pairs (:meth:`Overlay.neighbors_of`);
+* a key is *owned* by the node whose key is closest to it
+  (:meth:`Overlay.owner_of`);
+* greedy key-space routing reaches the owner in ``O(log N)`` hops
+  (:meth:`Overlay.route`).
+
+Concrete implementations (:mod:`~repro.overlay.chord`,
+:mod:`~repro.overlay.pastry`, :mod:`~repro.overlay.tornado`) are built two
+ways: an *oracle build* that computes routing state directly from the
+membership set (fast; used by the large parameter sweeps) and incremental
+``add_node`` / ``remove_node`` updates (used by churn scenarios).  Tests
+assert the two agree.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .keyspace import KeySpace
+
+__all__ = ["RouteResult", "Overlay", "ProximityFn", "RoutingError"]
+
+#: Optional network-proximity callback ``(key_a, key_b) -> cost`` used by
+#: proximity-aware overlays (Tornado, and the §3 optimisation) to choose
+#: among key-wise equivalent neighbour candidates.
+ProximityFn = Callable[[int, int], float]
+
+
+class RoutingError(RuntimeError):
+    """Raised when greedy routing cannot make progress (overlay corrupt)."""
+
+
+@dataclasses.dataclass
+class RouteResult:
+    """Outcome of routing a message toward a key.
+
+    Attributes
+    ----------
+    target:
+        The key routed toward.
+    hops:
+        Node keys visited, source first, owner last.  A route that starts
+        at the owner has ``hops == [source]``.
+    success:
+        Whether the route terminated at the key's owner.
+    """
+
+    target: int
+    hops: List[int]
+    success: bool
+
+    @property
+    def hop_count(self) -> int:
+        """Number of overlay hops (edges) traversed."""
+        return max(len(self.hops) - 1, 0)
+
+    @property
+    def source(self) -> int:
+        return self.hops[0]
+
+    @property
+    def terminus(self) -> int:
+        return self.hops[-1]
+
+
+class Overlay(abc.ABC):
+    """Base class for hash-structured overlays.
+
+    Subclasses populate per-node routing state in :meth:`_build_node` and
+    pick the next hop in :meth:`next_hop`; the shared :meth:`route` loop,
+    membership bookkeeping and owner resolution live here.
+    """
+
+    #: Guard against routing loops; honest overlays of 2^20 nodes route in
+    #: well under 100 hops.
+    MAX_ROUTE_HOPS = 512
+
+    def __init__(self, space: KeySpace, proximity: Optional[ProximityFn] = None) -> None:
+        self.space = space
+        self.proximity = proximity
+        self._keys: np.ndarray = np.empty(0, dtype=np.uint64)  # sorted member keys
+        self._member_set: set = set()
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    @property
+    def keys(self) -> np.ndarray:
+        """Sorted array of member keys."""
+        return self._keys
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self._keys.size)
+
+    def is_member(self, key: int) -> bool:
+        """True when ``key`` is a current member."""
+        return key in self._member_set
+
+    def build(self, keys: Iterable[int]) -> None:
+        """Oracle-build the overlay over ``keys`` (replaces any prior state)."""
+        key_list = sorted({self.space.validate(int(k)) for k in keys})
+        if not key_list:
+            raise ValueError("cannot build an overlay with no members")
+        self._keys = np.asarray(key_list, dtype=np.uint64)
+        self._member_set = set(key_list)
+        self._reset_state()
+        for k in key_list:
+            self._build_node(k)
+
+    def add_node(self, key: int) -> None:
+        """Incrementally admit ``key`` and repair affected routing state."""
+        key = self.space.validate(int(key))
+        if key in self._member_set:
+            raise ValueError(f"key {key} is already a member")
+        self._member_set.add(key)
+        idx = int(np.searchsorted(self._keys, key))
+        self._keys = np.insert(self._keys, idx, np.uint64(key))
+        self._on_add(key)
+
+    def remove_node(self, key: int) -> None:
+        """Remove ``key`` and repair affected routing state."""
+        if key not in self._member_set:
+            raise KeyError(f"key {key} is not a member")
+        if len(self._member_set) == 1:
+            raise ValueError("cannot remove the last member")
+        self._member_set.remove(key)
+        idx = int(np.searchsorted(self._keys, key))
+        self._keys = np.delete(self._keys, idx)
+        self._on_remove(key)
+
+    # ------------------------------------------------------------------
+    # Ownership and routing
+    # ------------------------------------------------------------------
+    def owner_of(self, key: int) -> int:
+        """Member key responsible for ``key``.
+
+        The paper's storage rule (§1): "store a data item with a hash key k
+        in a peer node whose hash key is the closest to k."  The default is
+        ring-nearest; Chord overrides to its successor rule.
+        """
+        self.space.validate(key)
+        if self._keys.size == 0:
+            raise RuntimeError("overlay has no members")
+        return self.space.nearest_key(self._keys, key)
+
+    def progress_key(self, node: int, target: int):
+        """Totally-ordered progress measure; strictly decreases per hop.
+
+        The default (ring distance, key) suits numeric-closeness overlays;
+        Chord overrides with clockwise distance, prefix overlays with
+        (digit mismatch, ring distance).
+        """
+        return (self.space.ring_distance(node, target), node)
+
+    def route(self, source: int, target: int) -> RouteResult:
+        """Greedily route from member ``source`` toward key ``target``.
+
+        Returns the hop sequence ending at the owner of ``target``.  Raises
+        :class:`RoutingError` on a loop or dead end (which indicates a bug
+        in the overlay's state — greedy routing on correct state always
+        terminates).
+        """
+        if not self.is_member(source):
+            raise ValueError(f"source {source} is not a member")
+        self.space.validate(target)
+        owner = self.owner_of(target)
+        hops = [source]
+        current = source
+        seen = {source}
+        while current != owner:
+            nxt = self.next_hop(current, target)
+            if nxt is None:
+                # No strictly-closer neighbour: greedy termination. Correct
+                # overlays only hit this at the owner; elsewhere it's a gap.
+                return RouteResult(target=target, hops=hops, success=current == owner)
+            if nxt in seen:
+                raise RoutingError(
+                    f"routing loop at node {nxt} while targeting {target}"
+                )
+            # A hop must make progress: either by the overlay's own measure
+            # (prefix/clockwise) or by ring distance toward the owner (the
+            # leaf-set delivery mode of prefix overlays).
+            progressed = self.progress_key(nxt, target) < self.progress_key(
+                current, target
+            ) or self.space.ring_distance(nxt, owner) < self.space.ring_distance(
+                current, owner
+            )
+            if not progressed:
+                raise RoutingError(
+                    f"non-monotone hop {current}->{nxt} targeting {target}"
+                )
+            hops.append(nxt)
+            seen.add(nxt)
+            current = nxt
+            if len(hops) > self.MAX_ROUTE_HOPS:
+                raise RoutingError(f"route exceeded {self.MAX_ROUTE_HOPS} hops")
+        return RouteResult(target=target, hops=hops, success=True)
+
+    # ------------------------------------------------------------------
+    # Subclass interface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def next_hop(self, current: int, target: int) -> Optional[int]:
+        """The neighbour of ``current`` to forward toward ``target``.
+
+        Must return a member key whose :meth:`progress_key` toward
+        ``target`` is strictly smaller than ``current``'s, or ``None`` when
+        no such neighbour is known (routing terminates).
+        """
+
+    @abc.abstractmethod
+    def neighbors_of(self, key: int) -> List[int]:
+        """All neighbour keys in ``key``'s routing state (deduplicated)."""
+
+    @abc.abstractmethod
+    def _reset_state(self) -> None:
+        """Clear all per-node routing state (before an oracle build)."""
+
+    @abc.abstractmethod
+    def _build_node(self, key: int) -> None:
+        """Compute routing state for member ``key`` from the member array."""
+
+    def _on_add(self, key: int) -> None:
+        """Repair state after ``key`` joined; default rebuilds everything.
+
+        Subclasses override with targeted repairs; the default is correct
+        but O(N log N).
+        """
+        self._reset_state()
+        for k in self._member_set:
+            self._build_node(int(k))
+
+    def _on_remove(self, key: int) -> None:
+        """Repair state after ``key`` left; default rebuilds everything."""
+        self._reset_state()
+        for k in self._member_set:
+            self._build_node(int(k))
+
+    def route_avoiding(
+        self, source: int, target: int, avoid: "set[int]"
+    ) -> RouteResult:
+        """Greedy routing that detours around ``avoid``\\ ed members.
+
+        §2.3.2's reliability argument: "a route towards its destination
+        can be adaptive by maintaining multiple paths to the neighbors" —
+        when the preferred next hop is down, any *other* neighbour that
+        still makes progress is taken instead.  The walk is loop-guarded
+        by a visited set and reports failure (rather than raising) when
+        the failed set disconnects every progressing path.
+
+        The owner itself being in ``avoid`` is unreachable by definition
+        and returns ``success=False`` immediately.
+        """
+        if not self.is_member(source):
+            raise ValueError(f"source {source} is not a member")
+        if source in avoid:
+            raise ValueError("source node is itself failed")
+        self.space.validate(target)
+        owner = self.owner_of(target)
+        hops = [source]
+        if owner in avoid:
+            return RouteResult(target=target, hops=hops, success=False)
+        current = source
+        seen = {source}
+        while current != owner:
+            cur_pk = self.progress_key(current, target)
+            best: Optional[int] = None
+            best_pk = None
+            for cand in self.neighbors_of(current):
+                if cand in avoid or cand in seen:
+                    continue
+                if cand == owner:
+                    best = cand
+                    break
+                pk = self.progress_key(cand, target)
+                if pk < cur_pk and (best_pk is None or pk < best_pk):
+                    best, best_pk = cand, pk
+            if best is None:
+                # No live progressing neighbour: allow a live sideways hop
+                # toward the owner (ring metric) before giving up.
+                cur_ring = self.space.ring_distance(current, owner)
+                for cand in self.neighbors_of(current):
+                    if cand in avoid or cand in seen:
+                        continue
+                    if self.space.ring_distance(cand, owner) < cur_ring:
+                        best = cand
+                        break
+            if best is None:
+                return RouteResult(target=target, hops=hops, success=False)
+            hops.append(best)
+            seen.add(best)
+            current = best
+            if len(hops) > self.MAX_ROUTE_HOPS:
+                return RouteResult(target=target, hops=hops, success=False)
+        return RouteResult(target=target, hops=hops, success=True)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def state_size_stats(self) -> Dict[str, float]:
+        """Mean/max routing-state size across members (the §2.3.2 claim of
+        ``O(log N)`` memory overhead per node)."""
+        sizes = [len(self.neighbors_of(int(k))) for k in self._keys]
+        arr = np.asarray(sizes, dtype=np.float64)
+        return {
+            "mean": float(arr.mean()),
+            "max": float(arr.max()),
+            "min": float(arr.min()),
+        }

@@ -1,0 +1,288 @@
+"""CAN overlay (Ratnasamy et al., SIGCOMM 2001) — the d-dimensional
+coordinate-space HS-P2P the paper contrasts throughout §2.3.2:
+
+* "each node needs to maintain 2D neighbors" (constant state in N);
+* lookups take O(D·N^(1/D)) hops — polynomial rather than logarithmic.
+
+A node's key maps to a point in a ``d``-dimensional torus by bit
+de-interleaving; the space is tessellated into axis-aligned boxes built
+as a k-d trie over the member points (cells split cyclically by
+dimension until each holds one member — the deterministic equivalent of
+CAN's split-on-join).  A trie half that ends up empty is merged into the
+zone of one member of the occupied half, so every node owns a *union of
+boxes* and the tessellation always covers the whole torus.  A key is
+owned by the node whose zone contains its point; routing greedily
+forwards across zone faces toward the target point.
+
+Bristle can run either layer over CAN; the hop-scaling bench shows why
+the paper's log-N overlays are preferred.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from .base import Overlay, RouteResult, RoutingError
+from .keyspace import KeySpace
+
+__all__ = ["CANOverlay", "Zone"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Zone:
+    """An axis-aligned box in the coordinate torus.
+
+    ``start[i]`` / ``size[i]`` describe the half-open interval
+    ``[start[i], start[i] + size[i])`` on axis ``i``; boxes are
+    trie-aligned and never wrap.
+    """
+
+    start: Tuple[int, ...]
+    size: Tuple[int, ...]
+
+    def contains(self, point: Tuple[int, ...]) -> bool:
+        """True when ``point`` lies inside the box."""
+        return all(
+            s <= c < s + sz for c, s, sz in zip(point, self.start, self.size)
+        )
+
+    def axis_distance(self, axis: int, coord: int, axis_extent: int) -> int:
+        """Torus distance from ``coord`` to this box along one axis."""
+        lo = self.start[axis]
+        hi = lo + self.size[axis] - 1
+        if lo <= coord <= hi:
+            return 0
+        d_lo = min((lo - coord) % axis_extent, (coord - lo) % axis_extent)
+        d_hi = min((hi - coord) % axis_extent, (coord - hi) % axis_extent)
+        return min(d_lo, d_hi)
+
+    def distance_to_point(self, point: Tuple[int, ...], axis_extent: int) -> int:
+        """L1 torus distance from the box to ``point`` (0 when inside)."""
+        return sum(
+            self.axis_distance(axis, c, axis_extent) for axis, c in enumerate(point)
+        )
+
+    def abuts(self, other: "Zone", axis_extent: int) -> bool:
+        """True when the boxes share a (d−1)-dimensional face (torus)."""
+        touching_axis = None
+        for axis in range(len(self.start)):
+            a_lo, a_sz = self.start[axis], self.size[axis]
+            b_lo, b_sz = other.start[axis], other.size[axis]
+            a_hi = a_lo + a_sz
+            b_hi = b_lo + b_sz
+            overlap = max(0, min(a_hi, b_hi) - max(a_lo, b_lo))
+            if overlap > 0:
+                continue
+            touches = a_hi % axis_extent == b_lo or b_hi % axis_extent == a_lo
+            if touches and touching_axis is None:
+                touching_axis = axis
+            else:
+                return False
+        return touching_axis is not None
+
+
+class CANOverlay(Overlay):
+    """CAN with a deterministic k-d-trie zone tessellation.
+
+    Parameters
+    ----------
+    space:
+        The key space; ``space.bits`` must be divisible by ``dims``.
+    dims:
+        Torus dimensionality ``d`` (the paper's D).
+    """
+
+    def __init__(self, space: KeySpace, dims: int = 2) -> None:
+        super().__init__(space)
+        if dims < 1:
+            raise ValueError("dims must be >= 1")
+        if space.bits % dims != 0:
+            raise ValueError(f"dims ({dims}) must divide key bits ({space.bits})")
+        self.dims = dims
+        self.bits_per_axis = space.bits // dims
+        self.axis_extent = 1 << self.bits_per_axis
+        #: member key → the boxes forming its zone
+        self._zone_boxes: Dict[int, List[Zone]] = {}
+        self._neighbors: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Coordinates
+    # ------------------------------------------------------------------
+    def point_of(self, key: int) -> Tuple[int, ...]:
+        """De-interleave ``key``'s bits into d torus coordinates.
+
+        Bit ``j`` of the key (MSB first) feeds axis ``j mod d``, matching
+        the trie's cyclic splits — uniform keys give a balanced
+        tessellation.
+        """
+        self.space.validate(key)
+        coords = [0] * self.dims
+        for j in range(self.space.bits):
+            bit = (key >> (self.space.bits - 1 - j)) & 1
+            axis = j % self.dims
+            coords[axis] = (coords[axis] << 1) | bit
+        return tuple(coords)
+
+    # ------------------------------------------------------------------
+    # Zone construction (k-d trie, empty halves merged)
+    # ------------------------------------------------------------------
+    def _reset_state(self) -> None:
+        self._zone_boxes.clear()
+        self._neighbors.clear()
+        if self._keys.size == 0:
+            return
+        members = [(int(k), self.point_of(int(k))) for k in self._keys]
+        full = Zone(start=(0,) * self.dims, size=(self.axis_extent,) * self.dims)
+        self._zone_boxes = {k: [] for k, _ in members}
+        self._split(full, members, depth=0)
+        keys = [k for k, _ in members]
+        for a in keys:
+            nbrs = []
+            for b in keys:
+                if b == a:
+                    continue
+                if self._zones_adjacent(a, b):
+                    nbrs.append(b)
+            self._neighbors[a] = sorted(nbrs)
+
+    def _zones_adjacent(self, a: int, b: int) -> bool:
+        for za in self._zone_boxes[a]:
+            for zb in self._zone_boxes[b]:
+                if za.abuts(zb, self.axis_extent):
+                    return True
+        return False
+
+    def _split(
+        self,
+        zone: Zone,
+        members: List[Tuple[int, Tuple[int, ...]]],
+        depth: int,
+    ) -> None:
+        if len(members) == 1:
+            self._zone_boxes[members[0][0]].append(zone)
+            return
+        axis = depth % self.dims
+        if zone.size[axis] == 1:
+            for off in range(1, self.dims + 1):
+                cand = (depth + off) % self.dims
+                if zone.size[cand] > 1:
+                    axis = cand
+                    break
+            else:  # pragma: no cover - distinct keys ⇒ distinct points
+                raise RoutingError("cannot split a unit zone with >1 member")
+        half = zone.size[axis] // 2
+        mid = zone.start[axis] + half
+        lo_zone = Zone(
+            start=zone.start,
+            size=tuple(half if i == axis else s for i, s in enumerate(zone.size)),
+        )
+        hi_zone = Zone(
+            start=tuple(mid if i == axis else s for i, s in enumerate(zone.start)),
+            size=lo_zone.size,
+        )
+        lo = [(k, p) for k, p in members if p[axis] < mid]
+        hi = [(k, p) for k, p in members if p[axis] >= mid]
+        if not lo:
+            # The empty half is annexed by the lowest-keyed occupant of
+            # the other half (deterministic; keeps the tessellation
+            # complete, mirroring CAN's zone-takeover on departure).
+            annex = min(hi)[0]
+            self._zone_boxes[annex].append(lo_zone)
+            self._split(hi_zone, hi, depth + 1)
+            return
+        if not hi:
+            annex = min(lo)[0]
+            self._zone_boxes[annex].append(hi_zone)
+            self._split(lo_zone, lo, depth + 1)
+            return
+        self._split(lo_zone, lo, depth + 1)
+        self._split(hi_zone, hi, depth + 1)
+
+    def _build_node(self, key: int) -> None:
+        # All state is global (the tessellation), computed in _reset_state.
+        return
+
+    # ------------------------------------------------------------------
+    # Ownership & routing
+    # ------------------------------------------------------------------
+    def zone_of(self, key: int) -> List[Zone]:
+        """The member's zone boxes (KeyError for non-members)."""
+        return list(self._zone_boxes[key])
+
+    def zone_distance(self, member: int, point: Tuple[int, ...]) -> int:
+        """L1 torus distance from a member's zone to ``point``."""
+        return min(
+            z.distance_to_point(point, self.axis_extent)
+            for z in self._zone_boxes[member]
+        )
+
+    def owner_of(self, key: int) -> int:
+        """The member whose zone contains the key's point."""
+        self.space.validate(key)
+        if self._keys.size == 0:
+            raise RuntimeError("overlay has no members")
+        point = self.point_of(key)
+        for member, boxes in self._zone_boxes.items():
+            if any(z.contains(point) for z in boxes):
+                return member
+        raise RoutingError(  # pragma: no cover - tessellation is complete
+            f"no zone contains point {point}"
+        )
+
+    def progress_key(self, node: int, target: int):
+        """(zone L1 distance to the target point, key)."""
+        return (self.zone_distance(node, self.point_of(target)), node)
+
+    def next_hop(self, current: int, target: int) -> Optional[int]:
+        """Face neighbour strictly closer to the target point."""
+        if current not in self._zone_boxes:
+            raise KeyError(f"{current} is not a member")
+        point = self.point_of(target)
+        cur_d = self.zone_distance(current, point)
+        if cur_d == 0:
+            return None
+        best: Optional[int] = None
+        best_d = cur_d
+        for nbr in self._neighbors[current]:
+            d = self.zone_distance(nbr, point)
+            if d < best_d:
+                best, best_d = nbr, d
+        return best
+
+    def route(self, source: int, target: int) -> RouteResult:
+        """Greedy zone routing with plateau tolerance.
+
+        CAN's greedy metric can plateau on equal-distance neighbours when
+        zones are uneven; the walker permits sideways moves (loop-guarded
+        by the visited set) rather than declaring failure.
+        """
+        if not self.is_member(source):
+            raise ValueError(f"source {source} is not a member")
+        self.space.validate(target)
+        owner = self.owner_of(target)
+        point = self.point_of(target)
+        hops = [source]
+        current = source
+        seen = {source}
+        while current != owner:
+            cur_d = self.zone_distance(current, point)
+            candidates = sorted(
+                (self.zone_distance(n, point), n)
+                for n in self._neighbors[current]
+                if n not in seen and self.zone_distance(n, point) <= cur_d
+            )
+            if not candidates:
+                return RouteResult(target=target, hops=hops, success=False)
+            current = candidates[0][1]
+            hops.append(current)
+            seen.add(current)
+            if len(hops) > self.MAX_ROUTE_HOPS:
+                raise RoutingError(f"CAN route exceeded {self.MAX_ROUTE_HOPS} hops")
+        return RouteResult(target=target, hops=hops, success=True)
+
+    def neighbors_of(self, key: int) -> List[int]:
+        """Zone-face neighbours of ``key``."""
+        if key not in self._neighbors:
+            raise KeyError(f"{key} is not a member")
+        return list(self._neighbors[key])

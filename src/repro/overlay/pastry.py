@@ -1,0 +1,181 @@
+"""Pastry overlay (Rowstron & Druschel, Middleware 2001) — a prefix-routing
+stationary-layer substrate (§2.1, ref [9]).
+
+Each node keeps:
+
+* a **routing table** with one row per digit position: the entry at
+  ``(row, d)`` is some member sharing the first ``row`` digits with the
+  local key and whose digit at position ``row`` is ``d``;
+* a **leaf set** of the ``l/2`` numerically closest members on each side.
+
+A key is owned by the ring-nearest member.  Each routing step either
+lengthens the shared prefix with the target or (within the leaf set)
+shrinks numeric distance, giving ``O(log_{2^b} N)`` hops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .base import Overlay, ProximityFn
+from .keyspace import KeySpace
+
+__all__ = ["PastryOverlay"]
+
+
+class PastryOverlay(Overlay):
+    """Pastry with oracle-built routing tables and leaf sets.
+
+    Parameters
+    ----------
+    space:
+        The identifier ring (``space.digit_bits`` is Pastry's ``b``).
+    leaf_set_size:
+        Total leaf-set size ``l`` (half on each side).
+    proximity:
+        Optional network-proximity callback; when given, routing-table
+        slots with several candidates pick the proximally closest
+        (Pastry's locality heuristic).  Without it the numerically
+        closest candidate is chosen (deterministic).
+    """
+
+    def __init__(
+        self,
+        space: KeySpace,
+        leaf_set_size: int = 8,
+        proximity: Optional[ProximityFn] = None,
+    ) -> None:
+        super().__init__(space, proximity)
+        if leaf_set_size < 2 or leaf_set_size % 2 != 0:
+            raise ValueError("leaf_set_size must be an even integer >= 2")
+        self.leaf_set_size = leaf_set_size
+        self._table: Dict[int, Dict[Tuple[int, int], int]] = {}
+        self._leaves: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # State construction
+    # ------------------------------------------------------------------
+    def _reset_state(self) -> None:
+        self._table.clear()
+        self._leaves.clear()
+
+    def _build_node(self, key: int) -> None:
+        self._leaves[key] = self._compute_leaves(key)
+        self._table[key] = self._compute_table(key)
+
+    def _compute_leaves(self, key: int) -> List[int]:
+        idx = int(np.searchsorted(self._keys, key))
+        n = self._keys.size
+        half = self.leaf_set_size // 2
+        leaves: List[int] = []
+        for j in range(1, min(half, n - 1) + 1):
+            leaves.append(int(self._keys[(idx + j) % n]))  # clockwise side
+            leaves.append(int(self._keys[(idx - j) % n]))  # counter-clockwise
+        return sorted(set(leaves) - {key})
+
+    def _compute_table(self, key: int) -> Dict[Tuple[int, int], int]:
+        """Routing table rows for ``key``.
+
+        For every (row, digit) slot we scan the members sharing exactly the
+        right prefix.  A single pass over the sorted member array suffices:
+        each member lands in exactly one slot (its first digit of
+        difference from ``key``).
+        """
+        table: Dict[Tuple[int, int], int] = {}
+        # candidates[slot] -> chosen member (resolve ties by proximity or key)
+        for other in self._keys:
+            o = int(other)
+            if o == key:
+                continue
+            row = self.space.shared_prefix_length(key, o)
+            col = self.space.digit(o, row)
+            slot = (row, col)
+            cur = table.get(slot)
+            if cur is None:
+                table[slot] = o
+            elif self.proximity is not None:
+                if self.proximity(key, o) < self.proximity(key, cur):
+                    table[slot] = o
+            else:
+                # Deterministic: numerically closest to local key, ties small.
+                if self.space.is_closer(o, cur, key):
+                    table[slot] = o
+        return table
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def progress_key(self, node: int, target: int):
+        """(digit mismatch depth, ring distance, key)."""
+        # Lexicographic (digit mismatch depth, ring distance, key): each
+        # Pastry step grows the shared prefix or shrinks numeric distance.
+        return (
+            self.space.num_digits - self.space.shared_prefix_length(node, target),
+            self.space.ring_distance(node, target),
+            node,
+        )
+
+    def next_hop(self, current: int, target: int) -> Optional[int]:
+        """Leaf-set delivery, else the routing-table prefix entry."""
+        if current not in self._table:
+            raise KeyError(f"{current} is not a member")
+        owner = self.owner_of(target)
+        if current == owner:
+            return None
+        cur_key = self.progress_key(current, target)
+
+        # 1. Leaf set covers the target → jump straight to the best leaf.
+        leaves = self._leaves[current]
+        best_leaf: Optional[int] = None
+        for leaf in leaves:
+            if best_leaf is None or self.space.is_closer(leaf, best_leaf, target):
+                best_leaf = leaf
+        if best_leaf is not None and best_leaf == owner:
+            return best_leaf
+
+        # 2. Routing table: entry matching one more digit of the target.
+        row = self.space.shared_prefix_length(current, target)
+        col = self.space.digit(target, row)
+        entry = self._table[current].get((row, col))
+        if entry is not None and self.progress_key(entry, target) < cur_key:
+            return entry
+
+        # 3. Rare case: no exact slot — any known node strictly closer.
+        best: Optional[int] = None
+        best_key = cur_key
+        for cand in list(leaves) + list(self._table[current].values()):
+            pk = self.progress_key(cand, target)
+            if pk < best_key:
+                best, best_key = cand, pk
+        if best is not None:
+            return best
+
+        # 4. Leaf-set delivery mode: no prefix progress possible (the
+        # numerically-nearest member shares a shorter prefix than we do —
+        # e.g. the owner sits just across an aligned digit boundary).  Walk
+        # the ring toward the owner through the leaf set.
+        cur_ring = self.space.ring_distance(current, owner)
+        for leaf in leaves:
+            d = self.space.ring_distance(leaf, owner)
+            if d < cur_ring:
+                best, cur_ring = leaf, d
+        return best
+
+    def neighbors_of(self, key: int) -> List[int]:
+        """Leaf set plus routing-table entries, deduplicated."""
+        if key not in self._table:
+            raise KeyError(f"{key} is not a member")
+        return sorted(set(self._leaves[key]) | set(self._table[key].values()))
+
+    # ------------------------------------------------------------------
+    # Introspection used by tests
+    # ------------------------------------------------------------------
+    def leaf_set(self, key: int) -> List[int]:
+        """The leaf set of member ``key``."""
+        return list(self._leaves[key])
+
+    def routing_table(self, key: int) -> Dict[Tuple[int, int], int]:
+        """The (row, digit) → member routing table of ``key``."""
+        return dict(self._table[key])

@@ -1,0 +1,116 @@
+"""Tapestry overlay (Zhao, Kubiatowicz & Joseph, UCB/CSD-01-1141) — the
+fifth and last substrate the paper's §2.1 names as a possible stationary
+layer.
+
+Tapestry shares Pastry's routing-table structure (one row per digit of
+shared prefix, one slot per next digit) but resolves keys differently:
+instead of a numeric leaf set, it uses **surrogate routing** — when no
+member matches the next digit of the target, the digit is deterministically
+"bumped" upward (mod the digit base) until a populated slot is found, and
+the descent continues under the bumped prefix.  The unique node this
+process converges to is the key's *surrogate root*, its owner.
+
+Because the bumped digit sequence is a pure function of the target key and
+the global membership, the surrogate root can be computed by prefix-range
+descent over the sorted key array, and per-hop routing reduces to prefix
+routing *toward the surrogate root*: every hop fixes one more digit, so
+lookups take at most ``bits / digit_bits`` hops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .pastry import PastryOverlay
+
+__all__ = ["TapestryOverlay"]
+
+
+class TapestryOverlay(PastryOverlay):
+    """Tapestry: Pastry's table geometry + surrogate-root ownership.
+
+    Parameters are those of :class:`PastryOverlay`; the leaf set is kept
+    purely as extra routing state (it plays no role in ownership).
+    """
+
+    # ------------------------------------------------------------------
+    # Surrogate-root ownership
+    # ------------------------------------------------------------------
+    def owner_of(self, key: int) -> int:
+        """The key's surrogate root (§ surrogate routing).
+
+        Descends digit by digit; at each level the target's digit is used
+        when some member continues under it, otherwise the digit is bumped
+        upward (mod base) to the nearest populated value.
+        """
+        self.space.validate(key)
+        if self._keys.size == 0:
+            raise RuntimeError("overlay has no members")
+        keys = self._keys
+        bits = self.space.bits
+        b = self.space.digit_bits
+        base = self.space.digit_base
+        prefix = 0  # fixed digits so far, left-aligned value
+        lo_idx, hi_idx = 0, int(keys.size)
+        for level in range(self.space.num_digits):
+            shift = bits - b * (level + 1)
+            want = (key >> shift) & (base - 1)
+            for bump in range(base):
+                digit = (want + bump) % base
+                cand_prefix = (prefix << b) | digit
+                lo = int(np.searchsorted(keys[lo_idx:hi_idx], cand_prefix << shift)) + lo_idx
+                hi = int(
+                    np.searchsorted(keys[lo_idx:hi_idx], ((cand_prefix + 1) << shift) - 1, side="right")
+                ) + lo_idx
+                if hi > lo:
+                    prefix = cand_prefix
+                    lo_idx, hi_idx = lo, hi
+                    break
+            else:  # pragma: no cover - membership non-empty ⇒ some digit populated
+                raise RuntimeError("surrogate descent found no populated digit")
+            if hi_idx - lo_idx == 1:
+                return int(keys[lo_idx])
+        return int(keys[lo_idx])
+
+    # ------------------------------------------------------------------
+    # Routing: prefix-walk toward the surrogate root
+    # ------------------------------------------------------------------
+    def progress_key(self, node: int, target: int):
+        """(digit mismatch with the surrogate root, ring distance, key)."""
+        owner = self.owner_of(target)
+        return (
+            self.space.num_digits - self.space.shared_prefix_length(node, owner),
+            self.space.ring_distance(node, owner),
+            node,
+        )
+
+    def next_hop(self, current: int, target: int) -> Optional[int]:
+        """Prefix-walk one digit toward the surrogate root."""
+        if current not in self._table:
+            raise KeyError(f"{current} is not a member")
+        owner = self.owner_of(target)
+        if current == owner:
+            return None
+        row = self.space.shared_prefix_length(current, owner)
+        col = self.space.digit(owner, row)
+        entry = self._table[current].get((row, col))
+        if entry is not None:
+            return entry
+        # The owner itself matches (row, col); the slot can only be empty
+        # if the table predates a membership change — fall back to any
+        # known node sharing a longer prefix with the owner.
+        best: Optional[int] = None
+        best_pk = self.progress_key(current, target)
+        for cand in list(self._leaves[current]) + list(self._table[current].values()):
+            pk = self.progress_key(cand, target)
+            if pk < best_pk:
+                best, best_pk = cand, pk
+        return best
+
+    def surrogate_path(self, key: int) -> List[int]:
+        """The per-level digits actually fixed while resolving ``key`` —
+        exposed for tests (equals the owner's digit expansion)."""
+        owner = self.owner_of(key)
+        return list(self.space.digits(owner))

@@ -1,0 +1,35 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package provides the machinery every experiment runs on: a virtual
+clock with an event heap (:class:`Engine`), named reproducible random
+streams (:class:`RngStreams`), leases and timers, metric accumulators and a
+structured tracer.
+"""
+
+from .engine import Engine, SimulationError
+from .events import Event, EventKind, Priority
+from .metrics import Counter, Histogram, MetricsRegistry, Summary, TimeSeries, summarize
+from .rng import RngStreams, derive_seed
+from .timers import Lease, TimerWheel
+from .trace import NULL_TRACER, TraceRecord, Tracer
+
+__all__ = [
+    "Engine",
+    "SimulationError",
+    "Event",
+    "EventKind",
+    "Priority",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "Summary",
+    "TimeSeries",
+    "summarize",
+    "RngStreams",
+    "derive_seed",
+    "Lease",
+    "TimerWheel",
+    "NULL_TRACER",
+    "TraceRecord",
+    "Tracer",
+]

@@ -1,0 +1,216 @@
+"""Metric collection: counters, gauges, histograms, and time series.
+
+Experiments record everything through a :class:`MetricsRegistry`; the
+benchmark harness then formats the registry into the tables/series that the
+paper's figures report.  All accumulators are NumPy-friendly (histogram
+samples are held in grow-only Python lists and converted to arrays only
+when statistics are requested — cheap appends in the hot path, vectorised
+math at summary time, per the hpc-parallel guidance).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Counter", "Histogram", "TimeSeries", "MetricsRegistry", "summarize"]
+
+
+class Counter:
+    """Monotonic (or signed) event counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (may be negative for gauges-as-counters)."""
+        self.value += amount
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Sample accumulator with summary statistics.
+
+    Samples are appended in O(1); statistics are computed lazily with NumPy.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self._samples.append(float(value))
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record a batch of samples."""
+        self._samples.extend(float(v) for v in values)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> np.ndarray:
+        """All samples as a NumPy array (copy)."""
+        return np.asarray(self._samples, dtype=np.float64)
+
+    def mean(self) -> float:
+        """Arithmetic mean; NaN when empty."""
+        return float(np.mean(self._samples)) if self._samples else math.nan
+
+    def std(self) -> float:
+        """Population standard deviation; NaN when empty."""
+        return float(np.std(self._samples)) if self._samples else math.nan
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile (0..100); NaN when empty."""
+        return float(np.percentile(self._samples, q)) if self._samples else math.nan
+
+    def min(self) -> float:
+        """Smallest sample; NaN when empty."""
+        return float(np.min(self._samples)) if self._samples else math.nan
+
+    def max(self) -> float:
+        """Largest sample; NaN when empty."""
+        return float(np.max(self._samples)) if self._samples else math.nan
+
+    def total(self) -> float:
+        """Sum of all samples (0 when empty)."""
+        return float(np.sum(self._samples)) if self._samples else 0.0
+
+    def reset(self) -> None:
+        """Drop all samples."""
+        self._samples.clear()
+
+
+class TimeSeries:
+    """(time, value) pairs, e.g. load over virtual time."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        """Append one point; times need not be distinct but must not regress."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(f"time regression in series {self.name!r}: {time} < {self._times[-1]}")
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (times, values) as NumPy arrays."""
+        return (
+            np.asarray(self._times, dtype=np.float64),
+            np.asarray(self._values, dtype=np.float64),
+        )
+
+    def last(self) -> Tuple[float, float]:
+        """Most recent (time, value); raises when empty."""
+        if not self._times:
+            raise IndexError(f"series {self.name!r} is empty")
+        return self._times[-1], self._values[-1]
+
+
+class MetricsRegistry:
+    """Named collection of counters, histograms and time series."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get (or create) the counter ``name``."""
+        c = self._counters.get(name)
+        if c is None:
+            c = Counter(name)
+            self._counters[name] = c
+        return c
+
+    def histogram(self, name: str) -> Histogram:
+        """Get (or create) the histogram ``name``."""
+        h = self._histograms.get(name)
+        if h is None:
+            h = Histogram(name)
+            self._histograms[name] = h
+        return h
+
+    def series(self, name: str) -> TimeSeries:
+        """Get (or create) the time series ``name``."""
+        s = self._series.get(name)
+        if s is None:
+            s = TimeSeries(name)
+            self._series[name] = s
+        return s
+
+    @property
+    def counters(self) -> Mapping[str, Counter]:
+        return self._counters
+
+    @property
+    def histograms(self) -> Mapping[str, Histogram]:
+        return self._histograms
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat {name: value} view: counter values and histogram means."""
+        out: Dict[str, float] = {}
+        for name, c in self._counters.items():
+            out[name] = float(c.value)
+        for name, h in self._histograms.items():
+            out[name + ".mean"] = h.mean()
+            out[name + ".count"] = float(len(h))
+        return out
+
+    def reset(self) -> None:
+        """Reset all accumulators (names are kept)."""
+        for c in self._counters.values():
+            c.reset()
+        for h in self._histograms.values():
+            h.reset()
+        self._series.clear()
+
+
+@dataclasses.dataclass
+class Summary:
+    """Five-number-ish summary of a sample set."""
+
+    count: int
+    mean: float
+    std: float
+    p50: float
+    p95: float
+    min: float
+    max: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarise a sequence of samples (NaN fields when empty)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return Summary(0, math.nan, math.nan, math.nan, math.nan, math.nan, math.nan)
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        min=float(arr.min()),
+        max=float(arr.max()),
+    )
+
+
+__all__.append("Summary")

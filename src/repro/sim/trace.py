@@ -1,0 +1,91 @@
+"""Structured trace log for debugging and test assertions.
+
+Protocol code emits trace records ("node 5 resolved key 0x1a2b via node 9")
+through a :class:`Tracer`.  Tests assert on the record stream; experiments
+normally run with tracing disabled (a no-op fast path so hot loops pay only
+an attribute check).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["TraceRecord", "Tracer", "NULL_TRACER"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: virtual time, category, and free-form fields."""
+
+    time: float
+    category: str
+    fields: Tuple[Tuple[str, Any], ...]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Field lookup by name."""
+        for k, v in self.fields:
+            if k == key:
+                return v
+        return default
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Fields as a dict, plus ``time`` and ``category``."""
+        d = dict(self.fields)
+        d["time"] = self.time
+        d["category"] = self.category
+        return d
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries when enabled.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False`` (the default for experiments), :meth:`emit` is a
+        near-free early return.
+    capacity:
+        Optional bound; the oldest records are dropped once exceeded.
+    """
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self._records: List[TraceRecord] = []
+
+    def emit(self, time: float, category: str, **fields: Any) -> None:
+        """Record an entry (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._records.append(TraceRecord(time, category, tuple(sorted(fields.items()))))
+        if self.capacity is not None and len(self._records) > self.capacity:
+            del self._records[: len(self._records) - self.capacity]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def filter(self, category: str, **match: Any) -> List[TraceRecord]:
+        """Records of ``category`` whose fields equal every ``match`` item."""
+        out = []
+        for rec in self._records:
+            if rec.category != category:
+                continue
+            if all(rec.get(k) == v for k, v in match.items()):
+                out.append(rec)
+        return out
+
+    def count(self, category: str, **match: Any) -> int:
+        """Number of matching records."""
+        return len(self.filter(category, **match))
+
+    def clear(self) -> None:
+        """Drop all recorded entries."""
+        self._records.clear()
+
+
+#: Shared disabled tracer for hot paths that were not handed a real one.
+NULL_TRACER = Tracer(enabled=False)

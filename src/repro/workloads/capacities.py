@@ -1,0 +1,55 @@
+"""Capacity assignment workloads (§4.2).
+
+"Each node simulated is randomly assigned the number of available network
+connections from 1 to MAX, where MAX is 1,2,3,...,15."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..sim.rng import RngStreams
+
+__all__ = ["uniform_capacities", "constant_capacities", "pareto_capacities"]
+
+
+def uniform_capacities(
+    keys: Sequence[int], max_capacity: int, rng: RngStreams, stream: str = "capacities"
+) -> Dict[int, float]:
+    """Integer capacities uniform in ``[1, max_capacity]`` — the Fig-8
+    workload."""
+    if max_capacity < 1:
+        raise ValueError("max_capacity must be >= 1")
+    gen = rng.stream(stream)
+    draws = gen.integers(1, max_capacity + 1, size=len(keys))
+    return {int(k): float(c) for k, c in zip(keys, draws)}
+
+
+def constant_capacities(keys: Sequence[int], capacity: float = 1.0) -> Dict[int, float]:
+    """Homogeneous capacities (the degenerate chain-LDT case)."""
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    return {int(k): float(capacity) for k in keys}
+
+
+def pareto_capacities(
+    keys: Sequence[int],
+    shape: float = 1.5,
+    scale: float = 1.0,
+    cap: float = 100.0,
+    rng: RngStreams = None,
+    stream: str = "capacities",
+) -> Dict[int, float]:
+    """Heavy-tailed capacities — a P2P-realistic extension beyond the
+    paper's uniform draw (few super-nodes, many weak nodes), used by the
+    ablation benchmarks."""
+    if rng is None:
+        raise ValueError("rng is required")
+    if shape <= 0 or scale <= 0 or cap <= scale:
+        raise ValueError("invalid pareto parameters")
+    gen = rng.stream(stream)
+    draws = scale * (1.0 + gen.pareto(shape, size=len(keys)))
+    draws = np.minimum(draws, cap)
+    return {int(k): float(max(1.0, c)) for k, c in zip(keys, draws)}

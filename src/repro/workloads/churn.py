@@ -1,0 +1,108 @@
+"""Churn schedules: joins, leaves and moves over virtual time.
+
+Used by the dynamic experiments (Figure 9 adds Bristle nodes dynamically;
+the Table-1 scenario interleaves moves with lookups) and by the
+join/leave robustness tests of §2.3.3.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Iterator, List, Optional, Sequence
+
+from ..sim.rng import RngStreams
+
+__all__ = ["ChurnEventType", "ChurnEvent", "ChurnSchedule", "poisson_churn"]
+
+
+class ChurnEventType(enum.Enum):
+    """Kinds of churn action: join, leave, or move."""
+    JOIN = "join"
+    LEAVE = "leave"
+    MOVE = "move"
+
+
+@dataclasses.dataclass(frozen=True)
+class ChurnEvent:
+    """One scheduled membership/mobility action."""
+
+    time: float
+    kind: ChurnEventType
+    host: int
+
+
+@dataclasses.dataclass
+class ChurnSchedule:
+    """A time-ordered list of churn events."""
+
+    events: List[ChurnEvent]
+
+    def __post_init__(self) -> None:
+        self.events.sort(key=lambda e: (e.time, e.host, e.kind.value))
+
+    def __iter__(self) -> Iterator[ChurnEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def until(self, time: float) -> List[ChurnEvent]:
+        """Events at or before ``time``."""
+        return [e for e in self.events if e.time <= time]
+
+    def counts(self) -> dict:
+        """Event count per :class:`ChurnEventType`."""
+        out = {k: 0 for k in ChurnEventType}
+        for e in self.events:
+            out[e.kind] += 1
+        return out
+
+
+def poisson_churn(
+    hosts: Sequence[int],
+    duration: float,
+    rng: RngStreams,
+    *,
+    move_rate: float = 0.0,
+    leave_rate: float = 0.0,
+    join_hosts: Optional[Sequence[int]] = None,
+    join_rate: float = 0.0,
+    stream: str = "churn",
+) -> ChurnSchedule:
+    """Exponential-interarrival churn for each host over ``[0, duration]``.
+
+    ``move_rate``/``leave_rate`` apply per existing host; ``join_rate``
+    spreads the ``join_hosts`` pool over the duration (each joins once).
+    A host that leaves generates no further events.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    gen = rng.stream(stream)
+    events: List[ChurnEvent] = []
+    for host in hosts:
+        left_at = float("inf")
+        if leave_rate > 0:
+            t = float(gen.exponential(1.0 / leave_rate))
+            if t <= duration:
+                left_at = t
+                events.append(ChurnEvent(time=t, kind=ChurnEventType.LEAVE, host=host))
+        if move_rate > 0:
+            t = float(gen.exponential(1.0 / move_rate))
+            while t <= min(duration, left_at):
+                events.append(ChurnEvent(time=t, kind=ChurnEventType.MOVE, host=host))
+                t += float(gen.exponential(1.0 / move_rate))
+    if join_hosts:
+        if join_rate > 0:
+            t = 0.0
+            for host in join_hosts:
+                t += float(gen.exponential(1.0 / join_rate))
+                if t > duration:
+                    break
+                events.append(ChurnEvent(time=t, kind=ChurnEventType.JOIN, host=host))
+        else:
+            # Spread joins uniformly when no rate given.
+            for i, host in enumerate(join_hosts):
+                t = duration * (i + 1) / (len(join_hosts) + 1)
+                events.append(ChurnEvent(time=t, kind=ChurnEventType.JOIN, host=host))
+    return ChurnSchedule(events=events)

@@ -1,0 +1,58 @@
+"""Route-sample generation (§4.1).
+
+"There are 10,000 sample routes between two randomly picked stationary
+nodes generated, and the average application-level hops and the path
+costs for these routes are averaged."
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.rng import RngStreams
+
+__all__ = ["sample_stationary_pairs", "sample_key_lookups"]
+
+
+def sample_stationary_pairs(
+    stationary_keys: Sequence[int],
+    count: int,
+    rng: RngStreams,
+    stream: str = "routes",
+) -> List[Tuple[int, int]]:
+    """``count`` ordered (source, destination) pairs of distinct
+    stationary keys, uniform with replacement across pairs."""
+    n = len(stationary_keys)
+    if n < 2:
+        raise ValueError("need at least two stationary nodes to sample routes")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    gen = rng.stream(stream)
+    src = gen.integers(0, n, size=count)
+    dst = gen.integers(0, n, size=count)
+    # Redraw destination collisions (distinct endpoints per pair).
+    clash = src == dst
+    while np.any(clash):
+        dst[clash] = gen.integers(0, n, size=int(clash.sum()))
+        clash = src == dst
+    return [(int(stationary_keys[a]), int(stationary_keys[b])) for a, b in zip(src, dst)]
+
+
+def sample_key_lookups(
+    member_keys: Sequence[int],
+    key_space_size: int,
+    count: int,
+    rng: RngStreams,
+    stream: str = "lookups",
+) -> List[Tuple[int, int]]:
+    """``count`` (source member, random data key) lookup pairs — the
+    data-access workload used by the Table-1 scenario."""
+    n = len(member_keys)
+    if n < 1:
+        raise ValueError("need at least one member")
+    gen = rng.stream(stream)
+    src = gen.integers(0, n, size=count)
+    keys = gen.integers(0, key_space_size, size=count, dtype=np.uint64)
+    return [(int(member_keys[a]), int(k)) for a, k in zip(src, keys)]

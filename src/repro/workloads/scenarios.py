@@ -1,0 +1,91 @@
+"""End-to-end scenario builders shared by experiments and examples.
+
+A *scenario* bundles a topology, a population and a configured
+:class:`~repro.core.bristle.BristleNetwork` (and, for the comparison
+experiments, matched Type-A/Type-B deployments over the same topology and
+key assignment so the three architectures face identical workloads).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Set
+
+from ..baselines.type_a import TypeAHSP2P
+from ..baselines.type_b import TypeBMobileIPHSP2P
+from ..core.bristle import BristleNetwork
+from ..core.config import BristleConfig
+from ..net.transit_stub import generate_transit_stub, params_for_router_count
+from ..sim.rng import RngStreams
+
+__all__ = ["ComparisonScenario", "build_comparison_scenario", "build_bristle"]
+
+
+def build_bristle(
+    num_stationary: int,
+    num_mobile: int,
+    *,
+    config: Optional[BristleConfig] = None,
+    router_count: Optional[int] = None,
+    max_capacity: int = 15,
+) -> BristleNetwork:
+    """One-call Bristle network with sensible defaults."""
+    cfg = config if config is not None else BristleConfig()
+    return BristleNetwork(
+        cfg,
+        num_stationary,
+        num_mobile,
+        router_count=router_count,
+        max_capacity=max_capacity,
+    )
+
+
+@dataclasses.dataclass
+class ComparisonScenario:
+    """The three architectures over one shared world (Table 1)."""
+
+    bristle: BristleNetwork
+    type_a: TypeAHSP2P
+    type_b: TypeBMobileIPHSP2P
+    mobile_hosts: Set[int]
+
+    @property
+    def num_nodes(self) -> int:
+        return self.bristle.num_nodes
+
+
+def build_comparison_scenario(
+    num_stationary: int,
+    num_mobile: int,
+    *,
+    seed: int = 1,
+    router_count: Optional[int] = None,
+    config: Optional[BristleConfig] = None,
+) -> ComparisonScenario:
+    """Build Bristle, Type A and Type B over the same topology and the
+    same initial key assignment.
+
+    The baselines use host ids equal to the Bristle node keys, so lookup
+    workloads expressed in keys apply verbatim to all three.
+    """
+    cfg = config if config is not None else BristleConfig(seed=seed)
+    rng = RngStreams(seed)
+    total = num_stationary + num_mobile
+    routers = router_count if router_count is not None else max(100, total // 2)
+    topology = generate_transit_stub(params_for_router_count(routers), rng)
+
+    bristle = BristleNetwork(
+        cfg, num_stationary, num_mobile, topology=topology
+    )
+    host_keys = {k: k for k in bristle.stationary_keys + bristle.mobile_keys}
+    mobile_hosts = set(bristle.mobile_keys)
+    space = bristle.space
+    type_a = TypeAHSP2P(
+        space, topology, rng.spawn("type_a"), host_keys, mobile_hosts
+    )
+    type_b = TypeBMobileIPHSP2P(
+        space, topology, rng.spawn("type_b"), host_keys, mobile_hosts
+    )
+    return ComparisonScenario(
+        bristle=bristle, type_a=type_a, type_b=type_b, mobile_hosts=mobile_hosts
+    )

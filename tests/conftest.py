@@ -1,0 +1,58 @@
+"""Shared fixtures: small deterministic topologies and networks.
+
+Everything is seeded; fixtures are function-scoped unless the object is
+immutable-in-practice (the topology), so tests can mutate freely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BristleConfig, BristleNetwork
+from repro.net import PathOracle, TransitStubParams, generate_transit_stub
+from repro.overlay import KeySpace
+from repro.sim import Engine, RngStreams
+
+
+@pytest.fixture
+def rng() -> RngStreams:
+    return RngStreams(1234)
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def space() -> KeySpace:
+    return KeySpace(bits=32, digit_bits=4)
+
+
+@pytest.fixture(scope="session")
+def topology():
+    """A ~100-router transit-stub topology shared across the session.
+
+    Session scope is safe: the graph is frozen and nothing mutates the
+    domain structure.
+    """
+    return generate_transit_stub(TransitStubParams(), RngStreams(99))
+
+
+@pytest.fixture
+def oracle(topology) -> PathOracle:
+    return PathOracle(topology.graph)
+
+
+@pytest.fixture
+def small_net() -> BristleNetwork:
+    """A 60-stationary / 40-mobile clustered-naming network."""
+    cfg = BristleConfig(seed=7, naming="clustered")
+    return BristleNetwork(cfg, num_stationary=60, num_mobile=40, router_count=100)
+
+
+@pytest.fixture
+def scrambled_net() -> BristleNetwork:
+    """A 60/40 network under scrambled naming."""
+    cfg = BristleConfig(seed=7, naming="scrambled")
+    return BristleNetwork(cfg, num_stationary=60, num_mobile=40, router_count=100)

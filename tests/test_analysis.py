@@ -1,0 +1,177 @@
+"""Tests for repro.core.analysis — the paper's analytic models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    advertisement_hops,
+    clustered_route_is_stationary,
+    expected_route_hops,
+    ldt_size_member_only,
+    ldt_size_non_member_only,
+    nabla,
+    registrations_per_node,
+    responsibility_curves,
+    responsibility_member_only,
+    responsibility_non_member_only,
+    total_registrations,
+)
+
+
+class TestNabla:
+    def test_values(self):
+        assert nabla(1000, 0) == 1.0
+        assert nabla(1000, 500) == 0.5
+        assert nabla(1000, 800) == pytest.approx(0.2)
+
+    def test_invalid_population(self):
+        with pytest.raises(ValueError):
+            nabla(1000, 1000)
+        with pytest.raises(ValueError):
+            nabla(1, 0)
+        with pytest.raises(ValueError):
+            nabla(10, -1)
+
+
+class TestResponsibility:
+    def test_ratio_is_log_n(self):
+        """non-member-only / member-only = log2 N exactly (§2.3)."""
+        n, m = 1_048_576, 500_000
+        ratio = responsibility_non_member_only(n, m) / responsibility_member_only(n, m)
+        assert ratio == pytest.approx(math.log2(n))
+        assert ratio == pytest.approx(20.0)
+
+    def test_monotone_in_mobile_fraction(self):
+        n = 1_048_576
+        vals = [responsibility_member_only(n, int(n * f)) for f in (0.1, 0.5, 0.9)]
+        assert vals[0] < vals[1] < vals[2]
+
+    def test_superlinear_growth_near_one(self):
+        """The paper's 'increases exponentially': the slope steepens as
+        M/N → 1 (the M/(N−M) factor blows up)."""
+        n = 1_048_576
+        lo = responsibility_non_member_only(n, int(0.5 * n)) - responsibility_non_member_only(
+            n, int(0.4 * n)
+        )
+        hi = responsibility_non_member_only(n, int(0.9 * n)) - responsibility_non_member_only(
+            n, int(0.8 * n)
+        )
+        assert hi > 5 * lo
+
+    def test_curves_align_with_scalars(self):
+        n = 1_048_576
+        curves = responsibility_curves(n, [0.25, 0.5])
+        assert curves["member_only"][1] == pytest.approx(
+            responsibility_member_only(n, n // 2)
+        )
+        assert curves["non_member_only"][0] == pytest.approx(
+            responsibility_non_member_only(n, n // 4)
+        )
+
+    def test_curves_reject_bad_fractions(self):
+        with pytest.raises(ValueError):
+            responsibility_curves(100, [1.0])
+        with pytest.raises(ValueError):
+            responsibility_curves(100, [-0.1])
+
+    def test_ldt_sizes(self):
+        assert ldt_size_member_only(1024) == 10.0
+        assert ldt_size_non_member_only(1024) == 100.0
+
+
+class TestRegistrations:
+    def test_per_node(self):
+        # M/N = 1/2, log2 N = 10 → 5 registrations per node.
+        assert registrations_per_node(1024, 512) == pytest.approx(5.0)
+
+    def test_total_is_m_log_n(self):
+        assert total_registrations(1024, 512) == pytest.approx(512 * 10)
+
+    def test_per_node_below_log_n(self):
+        """O((M/N)·log N) < O(log N) since M < N (§2.3.1)."""
+        for m in (10, 500, 1000):
+            assert registrations_per_node(1024, m) < math.log2(1024)
+
+
+class TestAdvertisementHops:
+    def test_kway(self):
+        # log N = 16 for N = 65536; branching 4 → log_4 16 = 2.
+        assert advertisement_hops(65536, 4) == pytest.approx(2.0)
+
+    def test_branching_validation(self):
+        with pytest.raises(ValueError):
+            advertisement_hops(1024, 1)
+
+    def test_double_log_growth(self):
+        """O(log log N): quadrupling log N adds a constant."""
+        a = advertisement_hops(2**8, 2)
+        b = advertisement_hops(2**32, 2)
+        assert b - a == pytest.approx(2.0)  # log2(32) − log2(8)
+
+
+class TestExpectedRouteHops:
+    def test_no_mobile_equal(self):
+        assert expected_route_hops(2000, 0, clustered=True) == pytest.approx(
+            expected_route_hops(2000, 0, clustered=False)
+        )
+
+    def test_scrambled_grows_with_mobility(self):
+        n_st = 2000
+        vals = [
+            expected_route_hops(n_st + m, m, clustered=False)
+            for m in (0, 2000, 8000)
+        ]
+        assert vals[0] < vals[1] < vals[2]
+
+    def test_clustered_flat_below_half(self):
+        base = expected_route_hops(2000, 0, clustered=True)
+        half = expected_route_hops(4000, 2000, clustered=True)
+        # Flat up to 50%: only the base log N drift.
+        assert half - base < 1.0
+
+    def test_clustered_beats_scrambled_at_high_mobility(self):
+        clu = expected_route_hops(10000, 8000, clustered=True)
+        scr = expected_route_hops(10000, 8000, clustered=False)
+        assert clu < scr
+
+
+class TestEq1:
+    RING = 2**32
+    L = 2**30
+    U = 3 * 2**30  # ∇ = 1/2
+
+    def test_forward_route_always_stationary(self):
+        assert clustered_route_is_stationary(self.L, self.U, self.L, self.U, self.RING)
+
+    def test_wrap_route_landing_in_band(self):
+        # Wide band (∇ = 0.9): a wrapping route whose half-arc landing is
+        # back inside [L, U] stays stationary.
+        ring = 2**32
+        low = int(0.05 * ring)
+        high = int(0.95 * ring)
+        x1, x2 = int(0.6 * ring), int(0.1 * ring)
+        # midpoint = 0.6ρ + (ρ − 0.5ρ)/2 = 0.85ρ ∈ [L, U]
+        assert clustered_route_is_stationary(x1, x2, low, high, ring)
+
+    def test_worst_case_pair_fails_even_above_half(self):
+        # ∇ ≥ 1/2 is necessary, not sufficient: the extreme U → L wrap
+        # at ∇ = 0.6 still lands outside the band (midpoint ≡ 0).
+        ring = 2**32
+        low = int(0.2 * ring)
+        high = int(0.8 * ring)
+        assert not clustered_route_is_stationary(high, low, low, high, ring)
+
+    def test_wrap_route_fails_below_half(self):
+        ring = 2**32
+        low = int(0.4 * ring)
+        high = int(0.6 * ring)  # ∇ = 0.2
+        # Typical wrapping pair: midpoint lands deep in the mobile region.
+        x1 = int(0.55 * ring)
+        x2 = int(0.45 * ring)
+        assert not clustered_route_is_stationary(x1, x2, low, high, ring)
+
+    def test_out_of_band_key_rejected(self):
+        with pytest.raises(ValueError):
+            clustered_route_is_stationary(1, self.U, self.L, self.U, self.RING)

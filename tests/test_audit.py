@@ -1,0 +1,105 @@
+"""Tests for the paper-claims audit and cross-seed robustness."""
+
+import pytest
+
+from repro.experiments import CLAIMS, Claim, render_audit, run_audit
+from repro.experiments.audit import ClaimResult
+
+
+class TestAuditMachinery:
+    def test_claims_well_formed(self):
+        assert len(CLAIMS) >= 12
+        for claim in CLAIMS:
+            assert claim.section
+            assert claim.text
+            assert claim.needs
+            assert callable(claim.check)
+
+    def test_needs_resolvable(self):
+        from repro.experiments.report import EXPERIMENTS
+
+        for claim in CLAIMS:
+            for name in claim.needs:
+                assert name in EXPERIMENTS, f"{claim.text!r} needs unknown {name!r}"
+
+    def test_single_claim_audit(self):
+        claim = next(c for c in CLAIMS if "end-to-end" in c.text)
+        results = run_audit(scale="quick", claims=[claim])
+        assert len(results) == 1
+        assert results[0].passed
+
+    def test_failing_check_reported_not_raised(self):
+        bad = Claim(
+            section="test",
+            text="always false",
+            needs=["fig3"],
+            check=lambda t: False,
+        )
+        results = run_audit(scale="quick", claims=[bad])
+        assert not results[0].passed
+        assert results[0].error is None
+
+    def test_erroring_check_captured(self):
+        bad = Claim(
+            section="test",
+            text="raises",
+            needs=["fig3"],
+            check=lambda t: t["missing-table"].rows,
+        )
+        results = run_audit(scale="quick", claims=[bad])
+        assert not results[0].passed
+        assert results[0].error is not None
+
+    def test_render_contains_verdicts(self):
+        ok = ClaimResult(
+            claim=Claim("s", "good", ["fig3"], lambda t: True), passed=True
+        )
+        bad = ClaimResult(
+            claim=Claim("s", "bad", ["fig3"], lambda t: False), passed=False
+        )
+        text = render_audit([ok, bad])
+        assert "[PASS] s: good" in text
+        assert "[FAIL] s: bad" in text
+        assert "1/2 claims supported" in text
+
+
+class TestSeedRobustness:
+    """The headline comparisons must hold across seeds, not just the
+    default one — guards against seed-lottery conclusions."""
+
+    @pytest.mark.parametrize("seed", [2, 17, 4096])
+    def test_clustered_beats_scrambled_any_seed(self, seed):
+        from repro.experiments import measure_naming_scheme
+
+        scr = measure_naming_scheme("scrambled", 150, 150, 250, 150, seed=seed)
+        clu = measure_naming_scheme("clustered", 150, 150, 250, 150, seed=seed)
+        assert clu["hops"] < scr["hops"]
+        assert clu["resolutions"] < scr["resolutions"]
+
+    @pytest.mark.parametrize("seed", [2, 17, 4096])
+    def test_ldt_flattening_any_seed(self, seed):
+        from repro.experiments import Fig8Params, run_fig8a
+
+        table = run_fig8a(
+            Fig8Params(trees_per_max=40, max_values=(1, 15), seed=seed)
+        )
+        assert (
+            table.row_where("MAX", 1)["mean depth"]
+            > 3 * table.row_where("MAX", 15)["mean depth"]
+        )
+
+    @pytest.mark.parametrize("seed", [5, 23])
+    def test_locality_cheaper_any_seed(self, seed):
+        from repro.experiments import Fig9Params, run_fig9
+
+        table = run_fig9(
+            Fig9Params(
+                num_stationary=60,
+                router_count=250,
+                fractions=(0.4, 0.8),
+                trees_sampled=50,
+                seed=seed,
+            )
+        )
+        for row in table.rows:
+            assert row["with locality"] < row["without locality"]

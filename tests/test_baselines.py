@@ -1,0 +1,166 @@
+"""Tests for the Type A and Type B baseline architectures."""
+
+import pytest
+
+from repro.baselines import TypeAHSP2P, TypeBMobileIPHSP2P
+from repro.overlay import KeySpace
+from repro.sim import RngStreams
+from repro.workloads import build_comparison_scenario
+
+
+@pytest.fixture
+def scenario():
+    return build_comparison_scenario(30, 20, seed=3, router_count=100)
+
+
+class TestTypeA:
+    def test_lookup_before_move_succeeds(self, scenario):
+        ta = scenario.type_a
+        host = sorted(scenario.mobile_hosts)[0]
+        src = sorted(set(ta.key_of) - scenario.mobile_hosts)[0]
+        result = ta.lookup(src, ta.key_of[host])
+        assert result.reached_intended
+        assert result.path_cost >= 0.0
+
+    def test_move_retires_old_key(self, scenario):
+        ta = scenario.type_a
+        host = sorted(scenario.mobile_hosts)[0]
+        old_key = ta.key_of[host]
+        report = ta.move(host)
+        assert report.old_key == old_key
+        assert report.new_key != old_key
+        assert ta.key_of[host] == report.new_key
+        assert old_key in ta.stale_keys
+
+    def test_lookup_to_retired_key_misses(self, scenario):
+        ta = scenario.type_a
+        host = sorted(scenario.mobile_hosts)[0]
+        old_key = ta.key_of[host]
+        ta.move(host)
+        src = sorted(set(ta.key_of) - scenario.mobile_hosts)[0]
+        result = ta.lookup(src, old_key)
+        assert not result.reached_intended
+
+    def test_lookup_to_new_key_succeeds(self, scenario):
+        ta = scenario.type_a
+        host = sorted(scenario.mobile_hosts)[0]
+        ta.move(host)
+        src = sorted(set(ta.key_of) - scenario.mobile_hosts)[0]
+        result = ta.lookup(src, ta.key_of[host])
+        assert result.reached_intended
+
+    def test_join_message_cost(self, scenario):
+        ta = scenario.type_a
+        host = sorted(scenario.mobile_hosts)[0]
+        report = ta.move(host)
+        # 2 × ⌈log2 N⌉ with N = 50 → 2 × 6 = 12.
+        assert report.join_messages == 12
+        assert ta.total_join_messages == 12
+
+    def test_move_stationary_rejected(self, scenario):
+        ta = scenario.type_a
+        stat = sorted(set(ta.key_of) - scenario.mobile_hosts)[0]
+        with pytest.raises(ValueError):
+            ta.move(stat)
+
+    def test_expire_stale_state(self, scenario):
+        ta = scenario.type_a
+        for host in sorted(scenario.mobile_hosts)[:3]:
+            ta.move(host)
+        assert ta.expire_stale_state() == 3
+        assert ta.stale_keys == set()
+
+    def test_overlay_membership_tracks_moves(self, scenario):
+        ta = scenario.type_a
+        host = sorted(scenario.mobile_hosts)[0]
+        old_key = ta.key_of[host]
+        ta.move(host)
+        assert not ta.overlay.is_member(old_key)
+        assert ta.overlay.is_member(ta.key_of[host])
+
+
+class TestTypeB:
+    def test_lookup_at_home_no_detour(self, scenario):
+        tb = scenario.type_b
+        host = sorted(scenario.mobile_hosts)[0]
+        src = sorted(set(tb.key_of) - scenario.mobile_hosts)[0]
+        result = tb.lookup(src, tb.key_of[host])
+        assert result.delivered
+        assert result.triangular_detours == 0
+
+    def test_move_makes_triangular_route(self, scenario):
+        tb = scenario.type_b
+        host = sorted(scenario.mobile_hosts)[0]
+        tb.move(host)
+        assert host in tb.away
+        assert tb.registration_messages == 1
+        src = sorted(set(tb.key_of) - scenario.mobile_hosts)[0]
+        result = tb.lookup(src, tb.key_of[host])
+        assert result.delivered
+        assert result.triangular_detours >= 1
+
+    def test_triangular_cost_at_least_direct(self, scenario):
+        tb = scenario.type_b
+        host = sorted(scenario.mobile_hosts)[0]
+        src_host = sorted(set(tb.key_of) - scenario.mobile_hosts)[0]
+        # One-hop physical comparison: triangle inequality means the agent
+        # detour can never be cheaper than the direct path.
+        tb.move(host)
+        agent = tb.home_agent[host]
+        src_router = tb.placement.router_of(src_host)
+        dst_router = tb.placement.router_of(host)
+        direct = tb.oracle.distance(src_router, dst_router)
+        via_agent = tb.oracle.distance(src_router, agent) + tb.oracle.distance(
+            agent, dst_router
+        )
+        assert via_agent >= direct - 1e-9
+
+    def test_failed_agent_drops_packets(self, scenario):
+        tb = scenario.type_b
+        host = sorted(scenario.mobile_hosts)[0]
+        tb.move(host)
+        tb.fail_agent(tb.home_agent[host])
+        src = sorted(set(tb.key_of) - scenario.mobile_hosts)[0]
+        result = tb.lookup(src, tb.key_of[host])
+        assert not result.delivered
+
+    def test_restore_agent(self, scenario):
+        tb = scenario.type_b
+        host = sorted(scenario.mobile_hosts)[0]
+        tb.move(host)
+        agent = tb.home_agent[host]
+        tb.fail_agent(agent)
+        tb.restore_agent(agent)
+        src = sorted(set(tb.key_of) - scenario.mobile_hosts)[0]
+        assert tb.lookup(src, tb.key_of[host]).delivered
+
+    def test_agent_load_accumulates(self, scenario):
+        tb = scenario.type_b
+        for host in sorted(scenario.mobile_hosts):
+            tb.move(host)
+        src = sorted(set(tb.key_of) - scenario.mobile_hosts)[0]
+        for host in sorted(scenario.mobile_hosts)[:5]:
+            tb.lookup(src, tb.key_of[host])
+        stats = tb.agent_load_stats()
+        assert stats["max"] >= 1
+        assert stats["agents"] > 0
+
+    def test_home_agent_is_original_router(self, scenario):
+        tb = scenario.type_b
+        for host in scenario.mobile_hosts:
+            # Before any move the agent equals the current attachment.
+            assert tb.home_agent[host] == tb.placement.router_of(host)
+
+
+class TestScenario:
+    def test_shared_keys_across_architectures(self, scenario):
+        assert scenario.type_a.key_of == scenario.type_b.key_of
+        bristle_keys = set(scenario.bristle.stationary_keys + scenario.bristle.mobile_keys)
+        assert set(scenario.type_a.key_of.values()) == bristle_keys
+
+    def test_mobile_host_sets_agree(self, scenario):
+        assert scenario.mobile_hosts == set(scenario.bristle.mobile_keys)
+        assert scenario.type_a.mobile_hosts == scenario.mobile_hosts
+
+    def test_num_nodes(self, scenario):
+        assert scenario.num_nodes == 50

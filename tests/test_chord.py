@@ -1,0 +1,86 @@
+"""Chord-specific tests: successor ownership, finger geometry."""
+
+import numpy as np
+import pytest
+
+from repro.overlay import ChordOverlay, KeySpace
+from repro.sim import RngStreams
+
+
+@pytest.fixture
+def chord(space):
+    rng = RngStreams(23)
+    keys = [int(k) for k in space.random_keys(rng, "keys", 128)]
+    ov = ChordOverlay(space)
+    ov.build(keys)
+    return ov, sorted(keys)
+
+
+class TestOwnership:
+    def test_owner_is_successor(self, chord, space):
+        ov, keys = chord
+        arr = np.asarray(keys, dtype=np.uint64)
+        for t in (0, keys[0], keys[0] + 1, keys[-1] + 1, space.size - 1):
+            expected = space.successor_key(arr, t % space.size)
+            assert ov.owner_of(t % space.size) == expected
+
+    def test_wraparound_ownership(self, chord, space):
+        ov, keys = chord
+        # A key past the largest member wraps to the smallest member.
+        assert ov.owner_of((keys[-1] + 1) % space.size) == keys[0]
+
+
+class TestFingers:
+    def test_fingers_are_members(self, chord):
+        ov, keys = chord
+        for k in keys[:20]:
+            assert set(ov.neighbors_of(k)) <= set(keys)
+
+    def test_successor_pointer(self, chord):
+        ov, keys = chord
+        for i, k in enumerate(keys[:20]):
+            assert ov.successor(k) == keys[(i + 1) % len(keys)]
+
+    def test_finger_count_logarithmic(self, chord):
+        ov, keys = chord
+        # 128 nodes in a 32-bit space: ≈ log2(128) = 7 distinct fingers
+        # (plus successor list); far fewer than the 32 raw finger starts.
+        sizes = [len(ov.neighbors_of(k)) for k in keys]
+        assert max(sizes) <= 7 + 4 + 6  # fingers + successors + slack
+
+    def test_clockwise_monotone_routing(self, chord, space):
+        ov, keys = chord
+        rng = RngStreams(29)
+        for t in space.random_keys(rng, "targets", 30, unique=False):
+            t = int(t)
+            r = ov.route(keys[0], t)
+            owner = ov.owner_of(t)
+            ds = [space.clockwise_distance(h, owner) for h in r.hops]
+            assert ds == sorted(ds, reverse=True)
+            assert ds[-1] == 0
+
+    def test_never_overshoots_owner(self, chord, space):
+        """Chord's closest-preceding rule never routes past the owner."""
+        ov, keys = chord
+        rng = RngStreams(30)
+        for t in space.random_keys(rng, "targets", 30, unique=False):
+            t = int(t)
+            owner = ov.owner_of(t)
+            r = ov.route(keys[5], t)
+            start_cw = space.clockwise_distance(keys[5], owner)
+            for h in r.hops:
+                assert space.clockwise_distance(keys[5], h) <= start_cw or h == keys[5]
+
+
+class TestConfig:
+    def test_successor_list_size_validated(self, space):
+        with pytest.raises(ValueError):
+            ChordOverlay(space, successor_list_size=0)
+
+    def test_small_ring_fingers_dedup(self, space):
+        ov = ChordOverlay(space)
+        ov.build([10, 20, 30])
+        for k in (10, 20, 30):
+            nbrs = ov.neighbors_of(k)
+            assert len(nbrs) == len(set(nbrs))
+            assert k not in nbrs

@@ -1,0 +1,85 @@
+"""Tests for repro.cli and repro.experiments.report."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.report import EXPERIMENTS, render_report, run_all, run_one
+
+
+class TestReport:
+    def test_run_one_known(self):
+        table = run_one("fig3", scale="quick")
+        assert table.rows
+
+    def test_run_one_unknown(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_one("fig99")
+
+    def test_run_one_bad_scale(self):
+        with pytest.raises(ValueError):
+            run_one("fig3", scale="huge")
+
+    def test_run_all_subset(self):
+        tables = run_all(scale="quick", names=["fig3", "fig8b"])
+        assert set(tables) == {"fig3", "fig8b"}
+
+    def test_render_report_order_and_content(self):
+        tables = run_all(scale="quick", names=["fig8b", "fig3"])
+        text = render_report(tables)
+        # EXPERIMENTS order: fig3 before fig8b.
+        assert text.index("fig3") < text.index("fig8b")
+        assert "Figure 8(b)" in text
+
+    def test_all_experiment_names_resolvable(self):
+        for name in EXPERIMENTS:
+            assert EXPERIMENTS[name][0]
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "fig3", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+
+    def test_run_unknown_fails(self, capsys):
+        assert main(["run", "nonsense"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_run_writes_out_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.txt"
+        assert main(["run", "fig3", "--out", str(out_file)]) == 0
+        assert "Figure 3" in out_file.read_text()
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "still delivered" in out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_parser_scale_choices(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "fig3", "--scale", "enormous"])
+
+
+class TestCliChart:
+    def test_chart_flag_draws_series(self, capsys):
+        assert main(["run", "fig3", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "member-only" in out
+        assert "|" in out  # plot grid present
+
+    def test_chart_skipped_for_unchartable(self, capsys):
+        assert main(["run", "fig8b", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8(b)" in out

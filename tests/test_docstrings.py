@@ -1,0 +1,60 @@
+"""Meta-test: every public item in the library carries a docstring.
+
+Deliverable (e) of the reproduction: "doc comments on every public item".
+This walks every `repro` module and asserts modules, public classes,
+public functions and public methods are documented.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+SKIP_METHOD_NAMES = {
+    # dunder/plumbing that inherits documented behaviour
+    "__init__", "__repr__", "__str__", "__len__", "__iter__", "__contains__",
+    "__lt__", "__eq__", "__hash__", "__post_init__",
+}
+
+
+def _iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing it would run the CLI
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_iter_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), f"{module.__name__} lacks a docstring"
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_items_documented(module):
+    missing = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-exported from elsewhere
+        if inspect.isclass(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                missing.append(f"class {name}")
+            for mname, meth in vars(obj).items():
+                if mname.startswith("_") or mname in SKIP_METHOD_NAMES:
+                    continue
+                if isinstance(meth, (staticmethod, classmethod)):
+                    meth = meth.__func__
+                if inspect.isfunction(meth) and not (meth.__doc__ and meth.__doc__.strip()):
+                    missing.append(f"method {name}.{mname}")
+        elif inspect.isfunction(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                missing.append(f"function {name}")
+    assert not missing, f"{module.__name__}: undocumented public items: {missing}"

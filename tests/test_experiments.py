@@ -1,0 +1,291 @@
+"""Experiment-harness tests: every figure/table runs (at reduced scale)
+and reproduces the paper's qualitative shape.
+
+These are the repository's headline assertions — each test pins one claim
+from §4 of the paper.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    Fig7Params,
+    Fig8Params,
+    Fig9Params,
+    Table1Params,
+    run_eq1_check,
+    run_fig3,
+    run_fig3_empirical,
+    run_fig7,
+    run_fig8a,
+    run_fig8b,
+    run_fig9,
+    run_hop_scaling,
+    run_ldt_depth_scaling,
+    run_table1,
+)
+
+
+class TestFig3:
+    def test_non_member_dominates_by_log_n(self):
+        table = run_fig3(num_nodes=1_048_576, fractions=(0.2, 0.5, 0.8))
+        for row in table.rows:
+            assert row["ratio"] == pytest.approx(20.0)
+            assert row["non-member-only"] > row["member-only"]
+
+    def test_superlinear_growth(self):
+        """Fig 3's point: non-member-only 'increases exponentially' as
+        M/N grows linearly — the increments must grow."""
+        table = run_fig3(num_nodes=1_048_576, fractions=(0.3, 0.6, 0.9))
+        vals = table.column("non-member-only")
+        assert vals[2] - vals[1] > 2 * (vals[1] - vals[0])
+
+    def test_empirical_tracks_member_only(self):
+        table = run_fig3_empirical(
+            num_stationary=80, mobile_fractions=(0.3, 0.6), seed=2
+        )
+        for row in table.rows:
+            measured = row["measured/node"]
+            analytic = row["analytic member-only"]
+            # Same order of magnitude and far below the non-member curve.
+            assert measured < row["analytic non-member-only"]
+            assert measured == pytest.approx(analytic, rel=3.0)
+        # Responsibility grows with M/N.
+        col = table.column("measured/node")
+        assert col[1] > col[0]
+
+
+@pytest.fixture(scope="module")
+def fig7_table():
+    return run_fig7(
+        Fig7Params(
+            num_stationary=200,
+            routes=400,
+            router_count=200,
+            fractions=(0.0, 0.2, 0.4, 0.6, 0.8),
+            seed=6,
+        )
+    )
+
+
+class TestFig7:
+    def test_equal_at_zero_mobility(self, fig7_table):
+        row = fig7_table.row_where("M/N (%)", 0.0)
+        assert row["hops scrambled"] == pytest.approx(row["hops clustered"], rel=0.15)
+        assert row["RDP hops"] == pytest.approx(1.0, abs=0.15)
+
+    def test_clustered_wins_at_high_mobility(self, fig7_table):
+        """Fig 7(a): 'the clustered naming scheme is superior'."""
+        for frac in (40.0, 60.0, 80.0):
+            row = fig7_table.row_where("M/N (%)", frac)
+            assert row["hops clustered"] < row["hops scrambled"]
+            assert row["cost clustered"] < row["cost scrambled"]
+
+    def test_rdp_grows_with_mobility(self, fig7_table):
+        rdp = fig7_table.column("RDP hops")
+        assert rdp[-1] > rdp[1] > 0.9
+        assert rdp[-1] > 1.3
+
+    def test_hop_and_cost_rdp_close(self, fig7_table):
+        """Fig 7(b) observation (3): 'The RDP ratios for application-level
+        hops and the path costs are closed.'"""
+        for row in fig7_table.rows:
+            if row["M/N (%)"] == 0.0:
+                continue
+            assert row["RDP hops"] == pytest.approx(row["RDP cost"], rel=0.35)
+
+    def test_scrambled_resolutions_track_mobility(self, fig7_table):
+        res = fig7_table.column("res scrambled")
+        assert res[0] == 0.0
+        assert all(b >= a * 0.8 for a, b in zip(res, res[1:]))
+
+    def test_clustered_fewer_resolutions(self, fig7_table):
+        for row in fig7_table.rows:
+            assert row["res clustered"] <= row["res scrambled"] + 1e-9
+
+
+class TestFig8:
+    def test_chain_at_max_one(self):
+        table = run_fig8a(Fig8Params(trees_per_max=30, max_values=(1,)))
+        row = table.rows[0]
+        assert row["max depth"] == 15
+        # Every level holds exactly one node → uniform 1/15 shares.
+        for lvl in range(1, 16):
+            assert row[f"L{lvl} (%)"] == pytest.approx(100 / 15, abs=0.01)
+
+    def test_trees_flatten_with_capacity(self):
+        table = run_fig8a(Fig8Params(trees_per_max=50, max_values=(1, 4, 15)))
+        depths = table.column("mean depth")
+        assert depths[0] > depths[1] > depths[2]
+        assert depths[2] <= 3.0
+
+    def test_high_capacity_concentrates_low_levels(self):
+        table = run_fig8a(Fig8Params(trees_per_max=50, max_values=(15,)))
+        row = table.rows[0]
+        assert row["L1 (%)"] + row["L2 (%)"] + row["L3 (%)"] > 95.0
+
+    def test_fig8b_super_nodes_carry_forwarding(self):
+        table = run_fig8b(num_trees=10, registry_size=15, max_capacity=15, seed=3)
+        # Within each tree: mean assignment of the top-5 capacity nodes
+        # must exceed that of the bottom-5 (gray-bar observation).
+        by_tree = {}
+        for row in table.rows:
+            by_tree.setdefault(row["tree"], []).append(row)
+        for rows in by_tree.values():
+            rows.sort(key=lambda r: r["node rank"])
+            top = np.mean([r["nodes assigned"] for r in rows[:5]])
+            bottom = np.mean([r["nodes assigned"] for r in rows[-5:]])
+            assert top >= bottom
+
+    def test_fig8b_partitions_nearly_equal(self):
+        """Dark-bar observation: head partitions are nearly equal."""
+        table = run_fig8b(num_trees=10, registry_size=15, max_capacity=15, seed=3)
+        by_tree = {}
+        for row in table.rows:
+            by_tree.setdefault(row["tree"], []).append(row)
+        for rows in by_tree.values():
+            heads = [r["nodes assigned"] for r in rows if r["nodes assigned"] > 0]
+            # Heads at the same tier differ by at most ~1 between the
+            # largest tiers; globally the spread stays small.
+            assert max(heads) - min(heads) <= max(3, len(rows) // 3)
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_fig9(
+            Fig9Params(
+                num_stationary=80,
+                router_count=300,
+                fractions=(0.3, 0.6, 0.9),
+                trees_sampled=60,
+                seed=10,
+            )
+        )
+
+    def test_locality_always_cheaper(self, table):
+        for row in table.rows:
+            assert row["with locality"] < row["without locality"]
+
+    def test_locality_improves_with_density(self, table):
+        """§4.3 observation (3): more nodes → better candidate pool →
+        cheaper trees."""
+        col = table.column("with locality")
+        assert col[-1] < col[0]
+
+    def test_without_locality_flat(self, table):
+        """§4.3 observation (2): random trees stay expensive regardless
+        of M/N."""
+        col = table.column("without locality")
+        assert max(col) / min(col) < 1.6
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_table1(Table1Params(num_stationary=80, num_mobile=80, lookups=200))
+
+    def test_type_a_breaks_end_to_end(self, table):
+        assert table.row_where("architecture", "Type A")["end-to-end delivery"] == 0.0
+
+    def test_bristle_and_type_b_preserve_end_to_end(self, table):
+        assert table.row_where("architecture", "Bristle")["end-to-end delivery"] == 1.0
+        assert table.row_where("architecture", "Type B")["end-to-end delivery"] == 1.0
+
+    def test_bristle_survives_failures_type_b_does_not(self, table):
+        b = table.row_where("architecture", "Bristle")
+        tb = table.row_where("architecture", "Type B")
+        assert b["delivery w/ 20% infra failure"] == 1.0
+        assert tb["delivery w/ 20% infra failure"] < 0.9
+
+    def test_bristle_warm_beats_type_b(self, table):
+        """Table 1 performance row: Bristle 'Good', Type B 'Poor' — once
+        addresses are cached Bristle routes directly while Mobile IP pays
+        the triangle forever."""
+        b = table.row_where("architecture", "Bristle")
+        tb = table.row_where("architecture", "Type B")
+        assert b["warm path cost"] < tb["warm path cost"]
+
+    def test_type_a_rejoin_overhead_highest(self, table):
+        a = table.row_where("architecture", "Type A")["messages/move"]
+        tb = table.row_where("architecture", "Type B")["messages/move"]
+        assert a > tb
+
+
+class TestBounds:
+    def test_hop_scaling_logarithmic(self):
+        table = run_hop_scaling(sizes=(128, 512, 2048), routes_per_size=150)
+        ratios = table.column("hops/log2 N")
+        # Normalised hops stay bounded (no linear growth).
+        assert max(ratios) / min(ratios) < 1.8
+        states = table.column("state/log2 N")
+        assert max(states) / min(states) < 2.5
+
+    def test_ldt_depth_double_log(self):
+        table = run_ldt_depth_scaling(sizes=(256, 4096, 65536), trees_per_size=30)
+        for row in table.rows:
+            assert row["mean depth"] <= row["bound log_k(log N)"] + 2.0
+        depths = table.column("mean depth")
+        # 256 → 65536 (log N: 8 → 16) adds at most ~1 level with k = 4.
+        assert depths[-1] - depths[0] <= 1.5
+
+    def test_eq1_knee_at_half(self):
+        table = run_eq1_check(
+            num_stationary=120, fractions=(0.2, 0.4, 0.6, 0.8), routes=200, seed=3
+        )
+        col = table.column("routes w/ resolution (%)")
+        below = max(col[0], col[1])
+        above = min(col[2], col[3])
+        assert below < above
+        assert col[0] < 15.0  # essentially stationary-only below the knee
+
+
+class TestFig3TreeSizes:
+    def test_non_member_trees_strictly_larger(self):
+        from repro.experiments import run_fig3_tree_sizes
+
+        table = run_fig3_tree_sizes(
+            num_stationary=100, mobile_fractions=(0.3, 0.7), seed=5
+        )
+        for row in table.rows:
+            assert row["non-member tree size"] > row["member tree size"]
+            assert row["forwarders/tree"] > 0
+
+    def test_responsibility_gap_widens(self):
+        from repro.experiments import run_fig3_tree_sizes
+
+        table = run_fig3_tree_sizes(
+            num_stationary=100, mobile_fractions=(0.3, 0.7), seed=5
+        )
+        ratios = table.column("resp ratio")
+        assert ratios[-1] > ratios[0] > 1.0
+
+
+class TestFig8Workload:
+    def test_depth_grows_with_load(self):
+        """§4.2: 'when each node encounters heavy workload, the tree
+        depth becomes lengthened.'"""
+        from repro.experiments import run_fig8_workload
+
+        table = run_fig8_workload(
+            used_fractions=(0.0, 0.5, 0.9), trees=80, seed=4
+        )
+        depths = table.column("mean depth")
+        assert depths == sorted(depths)
+        assert depths[-1] > 2 * depths[0]
+
+    def test_saturated_nodes_form_chains(self):
+        from repro.experiments import run_fig8_workload
+
+        table = run_fig8_workload(used_fractions=(0.9,), trees=50, seed=4)
+        row = table.rows[0]
+        assert row["mean branching"] == pytest.approx(1.0, abs=0.05)
+
+    def test_branching_shrinks_with_load(self):
+        from repro.experiments import run_fig8_workload
+
+        table = run_fig8_workload(used_fractions=(0.0, 0.9), trees=80, seed=4)
+        b = table.column("mean branching")
+        assert b[-1] < b[0]

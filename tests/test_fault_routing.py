@@ -1,0 +1,84 @@
+"""Tests for adaptive fault-tolerant routing (Overlay.route_avoiding)."""
+
+import numpy as np
+import pytest
+
+from repro.overlay import KeySpace, make_overlay
+from repro.overlay.factory import OVERLAY_NAMES
+from repro.sim import RngStreams
+
+
+@pytest.fixture(params=[n for n in OVERLAY_NAMES if n != "can"])
+def overlay(request, space):
+    rng = RngStreams(91)
+    keys = [int(k) for k in space.random_keys(rng, "keys", 200)]
+    ov = make_overlay(request.param, space)
+    ov.build(keys)
+    return ov, keys
+
+
+class TestRouteAvoiding:
+    def test_no_failures_matches_plain_route(self, overlay, space):
+        ov, keys = overlay
+        rng = RngStreams(92)
+        for t in space.random_keys(rng, "t", 20, unique=False):
+            r = ov.route_avoiding(keys[0], int(t), avoid=set())
+            assert r.success
+            assert r.terminus == ov.owner_of(int(t))
+
+    def test_detours_around_failed_hop(self, overlay, space):
+        """Fail every intermediate of the greedy route; delivery must
+        still succeed via alternate neighbours."""
+        ov, keys = overlay
+        rng = RngStreams(93)
+        detoured = 0
+        for t in space.random_keys(rng, "t", 30, unique=False):
+            t = int(t)
+            plain = ov.route(keys[0], t)
+            intermediates = set(plain.hops[1:-1])
+            if not intermediates:
+                continue
+            r = ov.route_avoiding(keys[0], t, avoid=intermediates)
+            assert set(r.hops).isdisjoint(intermediates)
+            if r.success:
+                assert r.terminus == ov.owner_of(t)
+                detoured += 1
+        # The vast majority of routes must survive losing their whole
+        # greedy path (O(log N) alternate neighbours exist).
+        assert detoured >= 20
+
+    def test_failed_owner_unreachable(self, overlay, space):
+        ov, keys = overlay
+        t = keys[50]
+        r = ov.route_avoiding(keys[0], t, avoid={ov.owner_of(t)})
+        assert not r.success
+
+    def test_failed_source_rejected(self, overlay):
+        ov, keys = overlay
+        with pytest.raises(ValueError):
+            ov.route_avoiding(keys[0], keys[1], avoid={keys[0]})
+
+    def test_mass_failure_delivery_degrades_gracefully(self, overlay, space):
+        """With 30% of members failed, most routes to live owners still
+        deliver — the §2.3.2 reliability claim."""
+        ov, keys = overlay
+        rng = RngStreams(94)
+        failed = set(rng.sample("failed", keys, int(0.3 * len(keys))))
+        live = [k for k in keys if k not in failed]
+        delivered = 0
+        attempts = 0
+        for t in live[:40]:
+            src = live[0]
+            if src == t:
+                continue
+            attempts += 1
+            r = ov.route_avoiding(src, t, avoid=failed)
+            if r.success:
+                delivered += 1
+        assert delivered / attempts > 0.85
+
+    def test_avoided_nodes_never_visited(self, overlay, space):
+        ov, keys = overlay
+        failed = set(keys[10:40])
+        r = ov.route_avoiding(keys[0], keys[100], avoid=failed)
+        assert set(r.hops).isdisjoint(failed)

@@ -1,0 +1,102 @@
+"""Tests for repro.core.join — the Figure-5 protocol."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import BristleConfig, BristleNetwork
+from repro.core.join import figure5_join
+
+
+@pytest.fixture
+def net():
+    cfg = BristleConfig(seed=71, naming="scrambled")
+    return BristleNetwork(cfg, num_stationary=50, num_mobile=50, router_count=120)
+
+
+def fresh_key(net):
+    k = 5
+    while k in net.nodes:
+        k += 1
+    return k
+
+
+class TestFigure5Join:
+    def test_join_makes_member(self, net):
+        k = fresh_key(net)
+        rep = figure5_join(net, k, capacity=2.0)
+        assert net.mobile_layer.is_member(k)
+        assert net.is_mobile(k)
+        assert rep.key == k
+
+    def test_visited_nodes_precede_membership(self, net):
+        k = fresh_key(net)
+        rep = figure5_join(net, k)
+        assert k not in rep.visited
+        assert all(v in net.nodes for v in rep.visited)
+
+    def test_state_table_populated(self, net):
+        k = fresh_key(net)
+        rep = figure5_join(net, k)
+        assert rep.state_size == len(net.nodes[k].state) > 0
+
+    def test_visited_nodes_learn_newcomer(self, net):
+        k = fresh_key(net)
+        rep = figure5_join(net, k)
+        learned = sum(1 for v in rep.visited if k in net.nodes[v].state)
+        assert learned == rep.registrations_sent
+        assert learned >= 1  # at least the closest visited node admits i
+
+    def test_message_bound(self, net):
+        """§2.3.3: at most 2·O(log N) messages."""
+        msgs = []
+        for _ in range(5):
+            k = fresh_key(net)
+            rep = figure5_join(net, k)
+            assert rep.within_bound(net.num_nodes)
+            msgs.append(rep.messages)
+        assert np.mean(msgs) <= 3 * 2 * math.log2(net.num_nodes)
+
+    def test_duplicate_join_rejected(self, net):
+        k = fresh_key(net)
+        figure5_join(net, k)
+        with pytest.raises(ValueError):
+            figure5_join(net, k)
+
+    def test_bad_bootstrap_rejected(self, net):
+        k = fresh_key(net)
+        missing = k + 1
+        while missing in net.nodes:
+            missing += 1
+        with pytest.raises(ValueError):
+            figure5_join(net, k, bootstrap=missing)
+
+    def test_explicit_bootstrap(self, net):
+        k = fresh_key(net)
+        rep = figure5_join(net, k, bootstrap=net.stationary_keys[0])
+        assert rep.visited[0] == net.stationary_keys[0]
+
+    def test_state_entries_resolved(self, net):
+        """Adopted state-pairs carry the peers' current addresses."""
+        k = fresh_key(net)
+        figure5_join(net, k)
+        for pair in net.nodes[k].state:
+            assert pair.addr == net.nodes[pair.key].address
+
+    def test_newcomer_registered_to_adopted_mobile_peers(self, net):
+        k = fresh_key(net)
+        figure5_join(net, k)
+        node = net.nodes[k]
+        for pair in node.state:
+            if net.is_mobile(pair.key):
+                # r registered itself to i (Fig 5's second _register).
+                assert pair.key in node.registry or pair.key in node.subscriptions
+
+    def test_routing_works_after_protocol_join(self, net):
+        from repro.core import route_with_resolution
+
+        k = fresh_key(net)
+        figure5_join(net, k)
+        trace = route_with_resolution(net, net.stationary_keys[0], k)
+        assert trace.success

@@ -1,0 +1,145 @@
+"""Tests for repro.overlay.keyspace."""
+
+import numpy as np
+import pytest
+
+from repro.overlay import KeySpace
+from repro.sim import RngStreams
+
+
+class TestConstruction:
+    def test_defaults(self, space):
+        assert space.size == 2**32
+        assert space.num_digits == 8
+        assert space.digit_base == 16
+
+    def test_digit_bits_must_divide(self):
+        with pytest.raises(ValueError):
+            KeySpace(bits=32, digit_bits=5)
+
+    def test_bits_bounds(self):
+        with pytest.raises(ValueError):
+            KeySpace(bits=0)
+        with pytest.raises(ValueError):
+            KeySpace(bits=200, digit_bits=4)
+
+    def test_validate(self, space):
+        assert space.validate(0) == 0
+        assert space.validate(space.size - 1) == space.size - 1
+        with pytest.raises(ValueError):
+            space.validate(space.size)
+        with pytest.raises(ValueError):
+            space.validate(-1)
+
+
+class TestDistances:
+    def test_clockwise(self):
+        s = KeySpace(bits=8, digit_bits=4)
+        assert s.clockwise_distance(10, 20) == 10
+        assert s.clockwise_distance(250, 5) == 11
+        assert s.clockwise_distance(7, 7) == 0
+
+    def test_ring_symmetric(self):
+        s = KeySpace(bits=8, digit_bits=4)
+        assert s.ring_distance(10, 20) == s.ring_distance(20, 10) == 10
+        assert s.ring_distance(0, 200) == 56  # wraps
+
+    def test_ring_max_half(self):
+        s = KeySpace(bits=8, digit_bits=4)
+        assert s.ring_distance(0, 128) == 128
+        assert s.ring_distance(0, 129) == 127
+
+    def test_in_interval(self):
+        s = KeySpace(bits=8, digit_bits=4)
+        assert s.in_interval(5, 1, 10)
+        assert s.in_interval(10, 1, 10)  # inclusive end
+        assert not s.in_interval(1, 1, 10)  # exclusive start
+        assert s.in_interval(2, 250, 10)  # wrap
+        assert not s.in_interval(100, 250, 10)
+
+    def test_is_closer_ties_to_smaller(self):
+        s = KeySpace(bits=8, digit_bits=4)
+        # 9 and 11 are equidistant from 10 → smaller key wins.
+        assert s.is_closer(9, 11, 10)
+        assert not s.is_closer(11, 9, 10)
+
+
+class TestDigits:
+    def test_digits_roundtrip(self):
+        s = KeySpace(bits=16, digit_bits=4)
+        key = 0xAB3F
+        assert s.digits(key) == (0xA, 0xB, 0x3, 0xF)
+        assert s.digit(key, 0) == 0xA
+        assert s.digit(key, 3) == 0xF
+
+    def test_digit_index_bounds(self):
+        s = KeySpace(bits=16, digit_bits=4)
+        with pytest.raises(IndexError):
+            s.digit(0, 4)
+
+    def test_shared_prefix_length(self):
+        s = KeySpace(bits=16, digit_bits=4)
+        assert s.shared_prefix_length(0xAB00, 0xAB00) == 4
+        assert s.shared_prefix_length(0xAB00, 0xABFF) == 2
+        assert s.shared_prefix_length(0xAB00, 0xA000) == 1
+        assert s.shared_prefix_length(0xAB00, 0x0B00) == 0
+
+    def test_shared_prefix_within_digit(self):
+        # Keys differing only inside the same digit share preceding digits.
+        s = KeySpace(bits=16, digit_bits=4)
+        assert s.shared_prefix_length(0x1234, 0x1235) == 3
+
+
+class TestBulkOps:
+    def test_random_keys_unique(self, space, rng):
+        keys = space.random_keys(rng, "k", 1000)
+        assert len(np.unique(keys)) == 1000
+
+    def test_random_keys_reproducible(self, space):
+        a = space.random_keys(RngStreams(5), "k", 100)
+        b = space.random_keys(RngStreams(5), "k", 100)
+        assert np.array_equal(a, b)
+
+    def test_random_keys_in_range(self, space, rng):
+        keys = space.random_keys_in_range(rng, "k", 500, 1000, 2000)
+        assert keys.min() >= 1000
+        assert keys.max() <= 2000
+        assert len(np.unique(keys)) == 500
+
+    def test_range_too_small_rejected(self, rng):
+        s = KeySpace(bits=8, digit_bits=4)
+        with pytest.raises(ValueError):
+            s.random_keys_in_range(rng, "k", 50, 0, 10)
+
+    def test_count_exceeding_space_rejected(self, rng):
+        s = KeySpace(bits=4, digit_bits=4)
+        with pytest.raises(ValueError):
+            s.random_keys(rng, "k", 17)
+
+    def test_nearest_key(self):
+        s = KeySpace(bits=8, digit_bits=4)
+        keys = np.array([10, 50, 200], dtype=np.uint64)
+        assert s.nearest_key(keys, 12) == 10
+        assert s.nearest_key(keys, 40) == 50
+        assert s.nearest_key(keys, 250) == 10  # wraps: 10 is 16 away, 200 is 50
+        assert s.nearest_key(keys, 200) == 200
+
+    def test_nearest_key_tie_prefers_smaller(self):
+        s = KeySpace(bits=8, digit_bits=4)
+        keys = np.array([10, 20], dtype=np.uint64)
+        assert s.nearest_key(keys, 15) == 10
+
+    def test_successor_key_wraps(self):
+        s = KeySpace(bits=8, digit_bits=4)
+        keys = np.array([10, 50, 200], dtype=np.uint64)
+        assert s.successor_key(keys, 10) == 10  # at-or-after
+        assert s.successor_key(keys, 11) == 50
+        assert s.successor_key(keys, 201) == 10  # wrap
+
+    def test_empty_arrays_rejected(self):
+        s = KeySpace(bits=8, digit_bits=4)
+        empty = np.array([], dtype=np.uint64)
+        with pytest.raises(ValueError):
+            s.nearest_key(empty, 5)
+        with pytest.raises(ValueError):
+            s.successor_key(empty, 5)

@@ -1,0 +1,117 @@
+"""Tests for repro.core.ldt_nonmember — the Scribe-style alternative."""
+
+import math
+
+import pytest
+
+from repro.core import build_non_member_tree
+from repro.overlay import ChordOverlay, KeySpace
+from repro.sim import RngStreams
+
+
+@pytest.fixture
+def stationary(space):
+    rng = RngStreams(71)
+    keys = [int(k) for k in space.random_keys(rng, "keys", 200)]
+    ov = ChordOverlay(space)
+    ov.build(keys)
+    return ov, keys
+
+
+class TestConstruction:
+    def test_rendezvous_is_owner(self, stationary, space):
+        ov, keys = stationary
+        root = 123456789
+        tree = build_non_member_tree(root, keys[:5], ov)
+        assert tree.rendezvous == ov.owner_of(root)
+        tree.validate()
+
+    def test_every_member_connected(self, stationary):
+        ov, keys = stationary
+        tree = build_non_member_tree(999, keys[:10], ov)
+        for m in tree.members:
+            assert tree.depth_of(m) >= 1
+
+    def test_root_not_in_parent_map(self, stationary):
+        ov, keys = stationary
+        tree = build_non_member_tree(999, keys[:10], ov)
+        assert 999 not in tree.parent
+
+    def test_root_joining_rejected(self, stationary):
+        ov, keys = stationary
+        root = keys[0]
+        with pytest.raises(ValueError):
+            build_non_member_tree(root, [root], ov)
+
+    def test_forwarders_disjoint_from_members(self, stationary):
+        ov, keys = stationary
+        tree = build_non_member_tree(4242, keys[:20], ov)
+        assert tree.forwarders.isdisjoint(tree.members)
+
+    def test_non_member_source_enters_via_owner(self, stationary, space):
+        ov, keys = stationary
+        outsider = next(
+            k for k in range(space.size) if not ov.is_member(k)
+        )
+        tree = build_non_member_tree(999, [outsider], ov)
+        assert ov.owner_of(outsider) in tree.members
+
+    def test_deterministic(self, stationary):
+        ov, keys = stationary
+        t1 = build_non_member_tree(7, keys[:15], ov)
+        t2 = build_non_member_tree(7, keys[:15], ov)
+        assert t1.parent == t2.parent
+
+
+class TestSizeClaims:
+    def test_recruits_forwarders(self, stationary):
+        """The defining property: the tree contains nodes nobody asked
+        to join (the paper's reason to reject it)."""
+        ov, keys = stationary
+        tree = build_non_member_tree(31337, keys[:15], ov)
+        assert len(tree.forwarders) > 0
+        assert tree.size > len(tree.members)
+
+    def test_size_bounded_by_members_times_route_length(self, stationary):
+        """S(τ) ≤ leaves × O(log N) (§2.3)."""
+        ov, keys = stationary
+        members = keys[:15]
+        tree = build_non_member_tree(31337, members, ov)
+        route_bound = 2 * math.log2(len(keys)) + 4
+        assert tree.size <= len(members) * route_bound
+
+    def test_bigger_than_member_only(self, stationary):
+        """The Figure-3 comparison in miniature: non-member trees span
+        strictly more nodes than member-only trees over the same
+        registry."""
+        ov, keys = stationary
+        members = keys[:15]
+        tree = build_non_member_tree(31337, members, ov)
+        member_only_size = len(members)
+        assert tree.size > member_only_size
+
+    def test_forwarding_load_concentrates_near_root(self, stationary):
+        ov, keys = stationary
+        tree = build_non_member_tree(31337, keys[:30], ov)
+        load = tree.forwarding_load()
+        assert sum(load.values()) == len(tree.parent)
+        # The root's child (rendezvous) carries load.
+        assert load.get(31337, 0) == 1
+
+
+class TestDepth:
+    def test_depth_positive_with_members(self, stationary):
+        ov, keys = stationary
+        tree = build_non_member_tree(99999, keys[:8], ov)
+        assert tree.depth >= 1
+
+    def test_depth_logarithmic(self, stationary):
+        ov, keys = stationary
+        tree = build_non_member_tree(99999, keys[:20], ov)
+        assert tree.depth <= 2 * math.log2(len(keys)) + 4
+
+    def test_empty_membership(self, stationary):
+        ov, keys = stationary
+        tree = build_non_member_tree(99999, [], ov)
+        assert tree.depth == 0
+        assert tree.size == 1  # just the rendezvous

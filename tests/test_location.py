@@ -1,0 +1,149 @@
+"""Tests for repro.core.location — directory and registrations."""
+
+import pytest
+
+from repro.core import BristleNode, LocationDirectory, RegistrationManager
+from repro.net import NetworkAddress
+from repro.overlay import ChordOverlay, KeySpace
+from repro.sim import RngStreams
+
+ADDR = NetworkAddress(router=5, port=9)
+ADDR2 = NetworkAddress(router=6, port=9, epoch=1)
+
+
+@pytest.fixture
+def stationary_layer(space):
+    rng = RngStreams(61)
+    keys = [int(k) for k in space.random_keys(rng, "keys", 40)]
+    ov = ChordOverlay(space)
+    ov.build(keys)
+    return ov
+
+
+@pytest.fixture
+def directory(space, stationary_layer):
+    return LocationDirectory(space, stationary_layer, replication=3)
+
+
+class TestHolders:
+    def test_holder_count(self, directory):
+        assert len(directory.holders_for(12345)) == 3
+
+    def test_holders_are_stationary_members(self, directory, stationary_layer):
+        for h in directory.holders_for(999999):
+            assert stationary_layer.is_member(h)
+
+    def test_owner_is_first_holder(self, directory, stationary_layer):
+        key = 777777
+        assert directory.holders_for(key)[0] == stationary_layer.owner_of(key)
+
+    def test_holders_distinct(self, directory):
+        holders = directory.holders_for(5)
+        assert len(set(holders)) == len(holders)
+
+    def test_replication_capped_by_layer_size(self, space):
+        ov = ChordOverlay(space)
+        ov.build([10, 20])
+        d = LocationDirectory(space, ov, replication=5)
+        assert len(d.holders_for(15)) == 2
+
+    def test_invalid_replication(self, space, stationary_layer):
+        with pytest.raises(ValueError):
+            LocationDirectory(space, stationary_layer, replication=0)
+
+
+class TestPublishResolve:
+    def test_roundtrip(self, directory):
+        directory.publish(4242, ADDR, now=0.0, ttl=10.0)
+        assert directory.resolve(4242, now=5.0) == ADDR
+
+    def test_expired_record_invisible(self, directory):
+        directory.publish(4242, ADDR, now=0.0, ttl=10.0)
+        assert directory.resolve(4242, now=10.5) is None
+
+    def test_republish_updates(self, directory):
+        directory.publish(4242, ADDR, now=0.0, ttl=10.0)
+        directory.publish(4242, ADDR2, now=1.0, ttl=10.0)
+        assert directory.resolve(4242, now=2.0) == ADDR2
+
+    def test_resolve_unknown(self, directory):
+        assert directory.resolve(31337, now=0.0) is None
+
+    def test_resolve_at_specific_holder(self, directory):
+        holders = directory.publish(4242, ADDR, now=0.0, ttl=10.0)
+        for h in holders:
+            assert directory.resolve_at(h, 4242, now=1.0) == ADDR
+        non_holder_keys = [
+            int(k) for k in directory.overlay.keys if int(k) not in set(holders)
+        ]
+        assert directory.resolve_at(non_holder_keys[0], 4242, now=1.0) is None
+
+    def test_withdraw(self, directory):
+        directory.publish(4242, ADDR, now=0.0, ttl=10.0)
+        directory.withdraw(4242)
+        assert directory.resolve(4242, now=0.0) is None
+
+    def test_replicas_survive_primary_loss(self, directory, stationary_layer):
+        """§2.3.2 availability: with k replicas, losing the primary still
+        resolves."""
+        holders = directory.publish(4242, ADDR, now=0.0, ttl=10.0)
+        primary = holders[0]
+        directory._stores[primary].pop(4242)  # simulate holder failure
+        assert directory.resolve(4242, now=1.0) == ADDR
+
+    def test_holder_load(self, directory):
+        directory.publish(1, ADDR, now=0.0, ttl=10.0)
+        directory.publish(2, ADDR, now=0.0, ttl=10.0)
+        load = directory.holder_load()
+        assert sum(load.values()) == 2 * 3  # two records × three replicas
+
+    def test_rebalance_after_membership_change(self, directory, stationary_layer, space):
+        directory.publish(4242, ADDR, now=0.0, ttl=10.0)
+        # Remove the primary holder from the layer, then rebalance.
+        primary = directory.holders_for(4242)[0]
+        stationary_layer.remove_node(primary)
+        directory.rebalance_after_membership_change(stationary_layer.keys, now=0.0)
+        assert directory.resolve(4242, now=1.0) == ADDR
+        assert primary not in directory.holders_for(4242)
+
+
+class TestRegistrationManager:
+    @pytest.fixture
+    def nodes(self, space):
+        out = {}
+        for k, mobile in ((100, False), (200, True), (300, True), (400, False)):
+            out[k] = BristleNode(key=k, mobile=mobile, capacity=float(k) / 100, space=space)
+        return out
+
+    def test_register_records_both_sides(self, nodes):
+        mgr = RegistrationManager(nodes)
+        mgr.register(100, 200)
+        assert 100 in nodes[200].registry
+        assert 200 in nodes[100].subscriptions
+        assert nodes[200].registry[100].capacity == nodes[100].capacity
+        assert mgr.registration_count == 1
+
+    def test_unregister(self, nodes):
+        mgr = RegistrationManager(nodes)
+        mgr.register(100, 200)
+        mgr.unregister(100, 200)
+        assert 100 not in nodes[200].registry
+        assert 200 not in nodes[100].subscriptions
+
+    def test_registry_sizes_mobile_only(self, nodes):
+        mgr = RegistrationManager(nodes)
+        mgr.register(100, 200)
+        mgr.register(400, 200)
+        mgr.register(100, 300)
+        assert sorted(mgr.registry_sizes(mobile_only=True)) == [1, 2]
+
+    def test_register_from_overlay_mobile_only(self, nodes, space):
+        ov = ChordOverlay(space)
+        ov.build(list(nodes))
+        mgr = RegistrationManager(nodes)
+        issued = mgr.register_from_overlay(ov, mobile_only=True)
+        assert issued > 0
+        # Only mobile nodes gained registrants.
+        assert len(nodes[100].registry) == 0
+        assert len(nodes[400].registry) == 0
+        assert len(nodes[200].registry) > 0

@@ -1,0 +1,135 @@
+"""Tests for repro.sim.metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import Counter, Histogram, MetricsRegistry, TimeSeries, summarize
+
+
+class TestCounter:
+    def test_inc_default(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_negative_inc(self):
+        c = Counter("x")
+        c.inc(-2)
+        assert c.value == -2
+
+    def test_reset(self):
+        c = Counter("x")
+        c.inc(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestHistogram:
+    def test_empty_statistics_are_nan(self):
+        h = Histogram("h")
+        assert math.isnan(h.mean())
+        assert math.isnan(h.std())
+        assert math.isnan(h.percentile(50))
+        assert math.isnan(h.min())
+        assert math.isnan(h.max())
+        assert h.total() == 0.0
+
+    def test_basic_stats(self):
+        h = Histogram("h")
+        h.observe_many([1, 2, 3, 4])
+        assert h.mean() == 2.5
+        assert h.min() == 1
+        assert h.max() == 4
+        assert h.total() == 10
+        assert len(h) == 4
+
+    def test_percentile(self):
+        h = Histogram("h")
+        h.observe_many(range(101))
+        assert h.percentile(50) == 50
+        assert h.percentile(95) == 95
+
+    def test_samples_returns_copy(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        arr = h.samples
+        arr[0] = 99
+        assert h.samples[0] == 1.0
+
+    def test_reset(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        h.reset()
+        assert len(h) == 0
+
+
+class TestTimeSeries:
+    def test_record_and_arrays(self):
+        s = TimeSeries("s")
+        s.record(0.0, 1.0)
+        s.record(1.0, 2.0)
+        t, v = s.arrays()
+        assert np.array_equal(t, [0.0, 1.0])
+        assert np.array_equal(v, [1.0, 2.0])
+
+    def test_time_regression_rejected(self):
+        s = TimeSeries("s")
+        s.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            s.record(4.0, 1.0)
+
+    def test_equal_times_allowed(self):
+        s = TimeSeries("s")
+        s.record(5.0, 1.0)
+        s.record(5.0, 2.0)
+        assert len(s) == 2
+
+    def test_last(self):
+        s = TimeSeries("s")
+        with pytest.raises(IndexError):
+            s.last()
+        s.record(1.0, 10.0)
+        assert s.last() == (1.0, 10.0)
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("b") is reg.histogram("b")
+        assert reg.series("c") is reg.series("c")
+
+    def test_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("msgs").inc(3)
+        reg.histogram("hops").observe_many([2, 4])
+        snap = reg.snapshot()
+        assert snap["msgs"] == 3.0
+        assert snap["hops.mean"] == 3.0
+        assert snap["hops.count"] == 2.0
+
+    def test_reset_keeps_names(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.histogram("h").observe(1)
+        reg.reset()
+        assert reg.counter("a").value == 0
+        assert len(reg.histogram("h")) == 0
+
+
+class TestSummarize:
+    def test_empty(self):
+        s = summarize([])
+        assert s.count == 0
+        assert math.isnan(s.mean)
+
+    def test_values(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.mean == 2.0
+        assert s.min == 1.0
+        assert s.max == 3.0
+        assert s.p50 == 2.0

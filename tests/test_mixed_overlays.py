@@ -1,0 +1,95 @@
+"""The §2.1 claim: "The stationary layer can be any HS-P2P."
+
+Builds Bristle with every overlay as the stationary layer (and prefix
+overlays as the mobile layer) and checks the full protocol suite still
+works: routing with resolution, discovery, moves, LDT advertisement.
+"""
+
+import pytest
+
+from repro.core import BristleConfig, BristleNetwork, route_with_resolution
+from repro.overlay.factory import OVERLAY_NAMES
+
+
+@pytest.fixture(params=OVERLAY_NAMES)
+def stationary_overlay(request):
+    return request.param
+
+
+def build_net(stationary_overlay: str, mobile_overlay: str = "chord") -> BristleNetwork:
+    cfg = BristleConfig(
+        seed=33,
+        naming="scrambled",
+        stationary_layer_overlay=stationary_overlay,
+        mobile_layer_overlay=mobile_overlay,
+    )
+    return BristleNetwork(cfg, num_stationary=40, num_mobile=25, router_count=100)
+
+
+class TestStationaryLayerChoices:
+    def test_discovery_works(self, stationary_overlay):
+        net = build_net(stationary_overlay)
+        mk = net.mobile_keys[0]
+        net.move(mk)
+        d = net.discover(net.stationary_keys[0], mk)
+        assert d.found
+        assert d.address == net.nodes[mk].address
+
+    def test_routing_with_resolution_works(self, stationary_overlay):
+        net = build_net(stationary_overlay)
+        for t in net.mobile_keys[:3] + net.stationary_keys[:3]:
+            trace = route_with_resolution(net, net.stationary_keys[0], t)
+            assert trace.success
+
+    def test_move_publishes_to_layer(self, stationary_overlay):
+        net = build_net(stationary_overlay)
+        mk = net.mobile_keys[1]
+        report = net.move(mk)
+        assert len(report.publish_holders) == net.config.replication
+        for h in report.publish_holders:
+            assert net.stationary_layer.is_member(h)
+
+    def test_directory_holders_in_layer(self, stationary_overlay):
+        net = build_net(stationary_overlay)
+        for mk in net.mobile_keys[:5]:
+            for h in net.directory.holders_for(mk):
+                assert net.stationary_layer.is_member(h)
+
+
+class TestMobileLayerChoices:
+    @pytest.mark.parametrize("mobile_overlay", ["chord", "pastry", "tornado"])
+    def test_routes_succeed(self, mobile_overlay):
+        net = build_net("chord", mobile_overlay)
+        for t in net.mobile_keys[:3]:
+            trace = route_with_resolution(net, net.stationary_keys[0], t)
+            assert trace.success
+
+    def test_can_mobile_layer(self):
+        """CAN as the mobile layer: ownership and routing follow zone
+        containment rather than ring closeness."""
+        net = build_net("chord", "can")
+        for t in net.mobile_keys[:3]:
+            trace = route_with_resolution(net, net.stationary_keys[0], t)
+            assert trace.success
+            assert trace.node_path[-1] == net.mobile_layer.owner_of(t)
+
+    @pytest.mark.parametrize("mobile_overlay", ["pastry", "tornado"])
+    def test_ldt_advertisement_any_layer(self, mobile_overlay):
+        net = build_net("pastry", mobile_overlay)
+        net.setup_random_registrations(registry_size=5)
+        report = net.move(net.mobile_keys[0], advertise=True)
+        assert report.ldt is not None
+        report.ldt.validate()
+
+
+class TestCrossLayerIndependence:
+    def test_same_seed_same_keys_across_layer_choices(self):
+        """Key assignment and placement derive only from the seed and
+        naming scheme, never from the overlay choice."""
+        a = build_net("chord")
+        b = build_net("pastry")
+        assert a.stationary_keys == b.stationary_keys
+        assert a.mobile_keys == b.mobile_keys
+        assert [a.placement.router_of(k) for k in a.nodes] == [
+            b.placement.router_of(k) for k in b.nodes
+        ]

@@ -1,0 +1,98 @@
+"""Tests for repro.core.naming — scrambled vs clustered key assignment."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClusteredNaming, ScrambledNaming, make_naming
+from repro.core.analysis import nabla
+from repro.overlay import KeySpace
+from repro.sim import RngStreams
+
+
+class TestScrambled:
+    def test_assignment_counts_and_uniqueness(self, space, rng):
+        scheme = ScrambledNaming(space)
+        a = scheme.assign(100, 300, rng)
+        assert len(a.stationary_keys) == 100
+        assert len(a.mobile_keys) == 300
+        assert len(set(a.all_keys)) == 400
+
+    def test_no_stationary_rejected(self, space, rng):
+        with pytest.raises(ValueError):
+            ScrambledNaming(space).assign(0, 10, rng)
+
+    def test_keys_spread_over_space(self, space, rng):
+        a = ScrambledNaming(space).assign(500, 500, rng)
+        keys = np.asarray(a.all_keys, dtype=np.float64)
+        # Uniform keys should span most of the ring.
+        assert keys.max() - keys.min() > 0.9 * space.size
+
+
+class TestClustered:
+    def test_band_matches_nabla(self, space):
+        scheme = ClusteredNaming.for_population(space, 600, 400)
+        expected = nabla(1000, 400)
+        actual = (scheme.high - scheme.low) / space.size
+        assert actual == pytest.approx(expected, rel=0.01)
+
+    def test_stationary_inside_band(self, space, rng):
+        scheme = ClusteredNaming.for_population(space, 200, 300)
+        a = scheme.assign(200, 300, rng)
+        for k in a.stationary_keys:
+            assert scheme.low <= k <= scheme.high
+            assert scheme.is_stationary_key(k)
+
+    def test_mobile_outside_band(self, space, rng):
+        scheme = ClusteredNaming.for_population(space, 200, 300)
+        a = scheme.assign(200, 300, rng)
+        for k in a.mobile_keys:
+            assert k < scheme.low or k > scheme.high
+            assert not scheme.is_stationary_key(k)
+
+    def test_all_keys_distinct(self, space, rng):
+        scheme = ClusteredNaming.for_population(space, 300, 700)
+        a = scheme.assign(300, 700, rng)
+        assert len(set(a.all_keys)) == 1000
+
+    def test_l_positive(self, space):
+        """Paper: 0 < L ≤ k_S (mobile keys need room below L)."""
+        for m in (1, 100, 10_000):
+            scheme = ClusteredNaming.for_population(space, 100, m)
+            assert scheme.low > 0
+            assert scheme.high < space.size - 1
+
+    def test_invalid_nabla_rejected(self, space):
+        with pytest.raises(ValueError):
+            ClusteredNaming(space, nabla=0.0)
+        with pytest.raises(ValueError):
+            ClusteredNaming(space, nabla=1.5)
+
+    def test_zero_mobile_allowed(self, space, rng):
+        scheme = ClusteredNaming.for_population(space, 50, 0)
+        a = scheme.assign(50, 0, rng)
+        assert a.mobile_keys == []
+
+    def test_tiny_space_mobile_overflow_rejected(self, rng):
+        small = KeySpace(bits=8, digit_bits=4)
+        scheme = ClusteredNaming(small, nabla=0.9)
+        with pytest.raises(ValueError):
+            # Mobile region smaller than the number of mobile keys.
+            scheme.assign(2, 200, rng)
+
+    def test_reproducible(self, space):
+        s1 = ClusteredNaming.for_population(space, 100, 100)
+        s2 = ClusteredNaming.for_population(space, 100, 100)
+        a1 = s1.assign(100, 100, RngStreams(5))
+        a2 = s2.assign(100, 100, RngStreams(5))
+        assert a1.stationary_keys == a2.stationary_keys
+        assert a1.mobile_keys == a2.mobile_keys
+
+
+class TestMakeNaming:
+    def test_dispatch(self, space):
+        assert isinstance(make_naming("scrambled", space, 10, 10), ScrambledNaming)
+        assert isinstance(make_naming("clustered", space, 10, 10), ClusteredNaming)
+
+    def test_unknown_rejected(self, space):
+        with pytest.raises(ValueError):
+            make_naming("hashed", space, 10, 10)

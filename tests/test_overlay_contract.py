@@ -1,0 +1,180 @@
+"""Contract tests every HS-P2P overlay must satisfy (§2.1/§2.3.2).
+
+Parametrised over Chord, Pastry and Tornado: routing correctness, hop
+bounds, state-size bounds, membership churn consistency.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.overlay import KeySpace, RouteResult, make_overlay
+from repro.overlay.factory import OVERLAY_NAMES
+from repro.sim import RngStreams
+
+
+@pytest.fixture(params=OVERLAY_NAMES)
+def overlay_name(request):
+    return request.param
+
+
+def build(name, space, keys):
+    ov = make_overlay(name, space)
+    ov.build(keys)
+    return ov
+
+
+@pytest.fixture
+def built(overlay_name, space):
+    rng = RngStreams(31)
+    keys = [int(k) for k in space.random_keys(rng, "keys", 256)]
+    return build(overlay_name, space, keys), keys, rng
+
+
+class TestMembership:
+    def test_build_requires_members(self, overlay_name, space):
+        with pytest.raises(ValueError):
+            make_overlay(overlay_name, space).build([])
+
+    def test_num_nodes(self, built):
+        ov, keys, _ = built
+        assert ov.num_nodes == len(keys)
+        assert all(ov.is_member(k) for k in keys)
+
+    def test_duplicate_add_rejected(self, built):
+        ov, keys, _ = built
+        with pytest.raises(ValueError):
+            ov.add_node(keys[0])
+
+    def test_remove_unknown_rejected(self, built):
+        ov, keys, _ = built
+        missing = next(k for k in range(1000) if not ov.is_member(k))
+        with pytest.raises(KeyError):
+            ov.remove_node(missing)
+
+
+class TestOwnership:
+    def test_owner_is_member(self, built, space):
+        ov, keys, rng = built
+        for t in space.random_keys(rng, "targets", 50, unique=False):
+            assert ov.is_member(ov.owner_of(int(t)))
+
+    def test_member_owns_itself(self, built):
+        ov, keys, _ = built
+        for k in keys[:30]:
+            assert ov.owner_of(k) == k
+
+
+class TestRouting:
+    def test_routes_reach_owner(self, built, space):
+        ov, keys, rng = built
+        srcs = rng.sample("srcs", keys, 40)
+        targets = space.random_keys(rng, "targets", 40, unique=False)
+        for s, t in zip(srcs, targets):
+            r = ov.route(s, int(t))
+            assert r.success
+            assert r.terminus == ov.owner_of(int(t))
+            assert r.hops[0] == s
+
+    def test_route_from_owner_is_trivial(self, built):
+        ov, keys, _ = built
+        k = keys[0]
+        r = ov.route(k, k)
+        assert r.hops == [k]
+        assert r.hop_count == 0
+
+    def test_hops_visit_members_once(self, built, space):
+        ov, keys, rng = built
+        t = int(space.random_keys(rng, "t2", 1, unique=False)[0])
+        r = ov.route(keys[3], t)
+        assert len(set(r.hops)) == len(r.hops)
+        assert all(ov.is_member(h) for h in r.hops)
+
+    def test_non_member_source_rejected(self, built):
+        ov, keys, _ = built
+        missing = next(k for k in range(10**6) if not ov.is_member(k))
+        with pytest.raises(ValueError):
+            ov.route(missing, keys[0])
+
+    def test_logarithmic_hop_bound(self, built, space):
+        """O(log N) routing: generous constant, but catches O(N) walks."""
+        ov, keys, rng = built
+        bound = 4 * math.log2(len(keys)) + 6
+        targets = space.random_keys(rng, "t3", 60, unique=False)
+        srcs = rng.sample("s3", keys, 60)
+        hops = [ov.route(s, int(t)).hop_count for s, t in zip(srcs, targets)]
+        assert max(hops) <= bound
+        assert np.mean(hops) <= 2 * math.log2(len(keys))
+
+
+class TestStateSize:
+    def test_logarithmic_state(self, built):
+        """O(log N) state per node (§2.3.2 claim 1)."""
+        ov, keys, _ = built
+        stats = ov.state_size_stats()
+        log_n = math.log2(len(keys))
+        # Prefix tables hold up to (base-1)·rows + leaves: allow a
+        # generous constant, but reject anything near O(N).
+        assert stats["max"] <= 20 * log_n
+        assert stats["mean"] >= 1
+
+
+class TestChurnConsistency:
+    def test_add_matches_oracle_build(self, overlay_name, space):
+        rng = RngStreams(17)
+        keys = [int(k) for k in space.random_keys(rng, "keys", 64)]
+        newcomer = next(
+            int(k) for k in space.random_keys(rng, "new", 8, unique=False)
+            if int(k) not in set(keys)
+        )
+        incremental = build(overlay_name, space, keys)
+        incremental.add_node(newcomer)
+        oracle = build(overlay_name, space, keys + [newcomer])
+        for member in keys[:20] + [newcomer]:
+            assert sorted(incremental.neighbors_of(member)) == sorted(
+                oracle.neighbors_of(member)
+            )
+
+    def test_remove_matches_oracle_build(self, overlay_name, space):
+        rng = RngStreams(18)
+        keys = [int(k) for k in space.random_keys(rng, "keys", 64)]
+        incremental = build(overlay_name, space, keys)
+        incremental.remove_node(keys[10])
+        remaining = [k for k in keys if k != keys[10]]
+        oracle = build(overlay_name, space, remaining)
+        for member in remaining[:20]:
+            assert sorted(incremental.neighbors_of(member)) == sorted(
+                oracle.neighbors_of(member)
+            )
+
+    def test_routes_work_after_churn(self, overlay_name, space):
+        rng = RngStreams(19)
+        keys = [int(k) for k in space.random_keys(rng, "keys", 64)]
+        ov = build(overlay_name, space, keys)
+        ov.remove_node(keys[0])
+        ov.remove_node(keys[1])
+        fresh = [
+            int(k) for k in space.random_keys(rng, "fresh", 3)
+            if not ov.is_member(int(k))
+        ]
+        for k in fresh:
+            ov.add_node(k)
+        for t in space.random_keys(rng, "targets", 20, unique=False):
+            r = ov.route(keys[5], int(t))
+            assert r.success
+
+    def test_cannot_remove_last(self, overlay_name, space):
+        ov = make_overlay(overlay_name, space)
+        ov.build([42])
+        with pytest.raises(ValueError):
+            ov.remove_node(42)
+
+
+class TestTwoNodeRing:
+    def test_tiny_overlay_routes(self, overlay_name, space):
+        ov = make_overlay(overlay_name, space)
+        ov.build([100, 2**31])
+        r = ov.route(100, 2**31)
+        assert r.success
+        assert r.terminus == 2**31

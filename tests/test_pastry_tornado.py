@@ -1,0 +1,154 @@
+"""Pastry- and Tornado-specific tests: leaf sets, routing tables,
+proximity/capacity-aware slot selection, §3 proximal routing."""
+
+import pytest
+
+from repro.overlay import KeySpace, PastryOverlay, TornadoOverlay
+from repro.sim import RngStreams
+
+
+@pytest.fixture
+def keys(space):
+    rng = RngStreams(41)
+    return [int(k) for k in space.random_keys(rng, "keys", 128)]
+
+
+class TestPastryLeafSet:
+    def test_leaf_set_size(self, space, keys):
+        ov = PastryOverlay(space, leaf_set_size=8)
+        ov.build(keys)
+        for k in keys[:20]:
+            assert len(ov.leaf_set(k)) == 8
+
+    def test_leaves_are_ring_neighbours(self, space, keys):
+        ov = PastryOverlay(space, leaf_set_size=8)
+        ov.build(keys)
+        ordered = sorted(keys)
+        k = ordered[10]
+        expected = {ordered[(10 + d) % len(ordered)] for d in (-4, -3, -2, -1, 1, 2, 3, 4)}
+        assert set(ov.leaf_set(k)) == expected
+
+    def test_odd_leaf_set_rejected(self, space):
+        with pytest.raises(ValueError):
+            PastryOverlay(space, leaf_set_size=5)
+
+
+class TestPastryRoutingTable:
+    def test_entries_share_declared_prefix(self, space, keys):
+        ov = PastryOverlay(space)
+        ov.build(keys)
+        k = keys[0]
+        for (row, col), entry in ov.routing_table(k).items():
+            assert space.shared_prefix_length(k, entry) == row
+            assert space.digit(entry, row) == col
+
+    def test_prefix_progress_per_hop(self, space, keys):
+        ov = PastryOverlay(space)
+        ov.build(keys)
+        rng = RngStreams(43)
+        for t in space.random_keys(rng, "targets", 30, unique=False):
+            t = int(t)
+            r = ov.route(keys[7], t)
+            # The (mismatch, ring-distance) progress pair must decrease,
+            # except a final leaf-set delivery hop onto the owner.
+            pks = [ov.progress_key(h, t) for h in r.hops]
+            for before, after, node in zip(pks, pks[1:], r.hops[1:]):
+                assert after < before or node == ov.owner_of(t)
+
+
+class TestTornadoSlotSelection:
+    def test_capacity_tiebreak_prefers_stronger(self, space, keys):
+        caps = {k: 1.0 for k in keys}
+        strongest = max(keys)
+        caps[strongest] = 100.0
+        plain = TornadoOverlay(space, capacity=lambda k: caps[k])
+        plain.build(keys)
+        # Without proximity, slots holding several candidates must have
+        # picked by capacity first: verify the strongest node appears in
+        # at least as many tables as under anti-capacity selection.
+        appearances = sum(
+            strongest in plain.neighbors_of(k) for k in keys if k != strongest
+        )
+        weak = TornadoOverlay(space, capacity=lambda k: -caps[k])
+        weak.build(keys)
+        appearances_weak = sum(
+            strongest in weak.neighbors_of(k) for k in keys if k != strongest
+        )
+        assert appearances >= appearances_weak
+
+    def test_proximity_selection_prefers_close(self, space, keys):
+        # Distance = absolute key difference (a synthetic metric): slots
+        # must then prefer numerically close candidates over far ones.
+        prox = lambda a, b: abs(a - b)
+        ov = TornadoOverlay(space, proximity=prox)
+        ov.build(keys)
+        far = TornadoOverlay(space, proximity=lambda a, b: -abs(a - b))
+        far.build(keys)
+        k = keys[0]
+        mean_near = sum(prox(k, n) for n in ov.neighbors_of(k)) / len(ov.neighbors_of(k))
+        mean_far = sum(prox(k, n) for n in far.neighbors_of(k)) / len(far.neighbors_of(k))
+        assert mean_near <= mean_far
+
+    def test_routes_still_reach_owner_with_proximity(self, space, keys):
+        ov = TornadoOverlay(space, proximity=lambda a, b: abs(a - b))
+        ov.build(keys)
+        rng = RngStreams(47)
+        for t in space.random_keys(rng, "targets", 30, unique=False):
+            assert ov.route(keys[3], int(t)).success
+
+
+class TestProximalNextHop:
+    def test_proximal_hop_makes_progress(self, space, keys):
+        prox = lambda a, b: abs(a - b)
+        ov = TornadoOverlay(space, proximity=prox)
+        ov.build(keys)
+        rng = RngStreams(53)
+        for t in space.random_keys(rng, "targets", 20, unique=False):
+            t = int(t)
+            current = keys[11]
+            owner = ov.owner_of(t)
+            if current == owner:
+                continue
+            nxt = ov.next_hop_proximal(current, t)
+            assert nxt is not None
+            assert nxt in ov.neighbors_of(current)
+
+    def test_proximal_route_terminates(self, space, keys):
+        prox = lambda a, b: abs(a - b)
+        ov = TornadoOverlay(space, proximity=prox)
+        ov.build(keys)
+        rng = RngStreams(54)
+        for t in space.random_keys(rng, "targets", 20, unique=False):
+            t = int(t)
+            current = keys[2]
+            owner = ov.owner_of(t)
+            hops = 0
+            while current != owner:
+                current = ov.next_hop_proximal(current, t)
+                assert current is not None
+                hops += 1
+                assert hops < 200
+
+    def test_without_proximity_falls_back(self, space, keys):
+        ov = TornadoOverlay(space)
+        ov.build(keys)
+        t = keys[20]
+        assert ov.next_hop_proximal(keys[1], t) == ov.next_hop(keys[1], t)
+
+    def test_proximal_picks_cheapest_progressing_link(self, space, keys):
+        prox = lambda a, b: abs(a - b)
+        ov = TornadoOverlay(space, proximity=prox)
+        ov.build(keys)
+        t = keys[40]
+        current = keys[1]
+        if current == ov.owner_of(t):
+            pytest.skip("degenerate draw")
+        nxt = ov.next_hop_proximal(current, t)
+        if nxt == ov.owner_of(t):
+            return  # direct delivery wins by rule
+        cur_pk = ov.progress_key(current, t)
+        cheaper = [
+            c for c in ov.neighbors_of(current)
+            if ov.progress_key(c, t) < cur_pk and prox(current, c) < prox(current, nxt)
+        ]
+        assert cheaper == []

@@ -1,0 +1,96 @@
+"""Tests for repro.experiments.plots — ASCII charts."""
+
+import math
+
+import pytest
+
+from repro.experiments import ResultTable, ascii_bars, ascii_chart
+
+
+@pytest.fixture
+def table():
+    t = ResultTable(title="T", columns=["x", "a", "b"])
+    for i in range(6):
+        t.add_row(x=float(i * 10), a=float(i * i), b=float(30 - i))
+    return t
+
+
+class TestAsciiChart:
+    def test_contains_axes_and_legend(self, table):
+        text = ascii_chart(table, x="x", series=["a", "b"])
+        assert "x: x" in text
+        assert "* a" in text
+        assert "o b" in text
+        assert "T" in text.splitlines()[0]
+
+    def test_extreme_values_on_chart(self, table):
+        text = ascii_chart(table, x="x", series=["a"])
+        assert "25" in text  # y max label
+        assert "0" in text
+
+    def test_dimension_validation(self, table):
+        with pytest.raises(ValueError):
+            ascii_chart(table, x="x", series=["a"], width=5)
+        with pytest.raises(ValueError):
+            ascii_chart(table, x="x", series=["a"], height=2)
+
+    def test_unknown_column_raises(self, table):
+        with pytest.raises(KeyError):
+            ascii_chart(table, x="zzz", series=["a"])
+
+    def test_nan_points_skipped(self):
+        t = ResultTable(title="T", columns=["x", "a"])
+        t.add_row(x=0.0, a=1.0)
+        t.add_row(x=1.0, a=float("nan"))
+        t.add_row(x=2.0, a=3.0)
+        text = ascii_chart(t, x="x", series=["a"])
+        assert "*" in text
+
+    def test_all_nan_rejected(self):
+        t = ResultTable(title="T", columns=["x", "a"])
+        t.add_row(x=0.0, a=float("nan"))
+        with pytest.raises(ValueError):
+            ascii_chart(t, x="x", series=["a"])
+
+    def test_flat_series_handled(self):
+        t = ResultTable(title="T", columns=["x", "a"])
+        t.add_row(x=0.0, a=5.0)
+        t.add_row(x=1.0, a=5.0)
+        text = ascii_chart(t, x="x", series=["a"])
+        assert "*" in text
+
+    def test_fixed_width_rows(self, table):
+        text = ascii_chart(table, x="x", series=["a"], width=40, height=8)
+        plot_rows = [l for l in text.splitlines() if "|" in l]
+        assert len(plot_rows) == 8
+        assert all(len(r.split("|", 1)[1]) <= 40 for r in plot_rows)
+
+    def test_custom_title(self, table):
+        text = ascii_chart(table, x="x", series=["a"], title="Custom")
+        assert text.splitlines()[0] == "Custom"
+
+
+class TestAsciiBars:
+    def test_bars_scale_to_peak(self, table):
+        text = ascii_bars(table, label="x", value="a", width=20)
+        lines = text.splitlines()[1:]
+        bar_lengths = [l.count("█") for l in lines]
+        assert max(bar_lengths) == 20
+        assert bar_lengths == sorted(bar_lengths)  # a grows with x
+
+    def test_values_printed(self, table):
+        text = ascii_bars(table, label="x", value="b")
+        assert "30" in text and "25" in text
+
+    def test_nan_shown(self):
+        t = ResultTable(title="T", columns=["l", "v"])
+        t.add_row(l="ok", v=2.0)
+        t.add_row(l="bad", v=float("nan"))
+        text = ascii_bars(t, label="l", value="v")
+        assert "nan" in text
+
+    def test_all_nan_rejected(self):
+        t = ResultTable(title="T", columns=["l", "v"])
+        t.add_row(l="bad", v=float("nan"))
+        with pytest.raises(ValueError):
+            ascii_bars(t, label="l", value="v")

@@ -1,0 +1,72 @@
+"""Tests for repro.experiments.common.ResultTable."""
+
+import math
+
+import pytest
+
+from repro.experiments import ResultTable, format_float
+
+
+class TestFormatFloat:
+    def test_integral_float(self):
+        assert format_float(3.0) == "3"
+
+    def test_precision(self):
+        assert format_float(3.14159, 2) == "3.14"
+
+    def test_nan(self):
+        assert format_float(float("nan")) == "nan"
+
+    def test_non_float_passthrough(self):
+        assert format_float("abc") == "abc"
+        assert format_float(7) == "7"
+
+
+class TestResultTable:
+    def make(self):
+        t = ResultTable(title="T", columns=["a", "b"])
+        t.add_row(a=1, b=2.5)
+        t.add_row(a=3, b=4.5)
+        return t
+
+    def test_add_row_unknown_column_rejected(self):
+        t = ResultTable(title="T", columns=["a"])
+        with pytest.raises(KeyError):
+            t.add_row(z=1)
+
+    def test_column_access(self):
+        t = self.make()
+        assert t.column("a") == [1, 3]
+        with pytest.raises(KeyError):
+            t.column("zzz")
+
+    def test_column_missing_cells(self):
+        t = ResultTable(title="T", columns=["a", "b"])
+        t.add_row(a=1)
+        assert t.column("b") == [None]
+
+    def test_row_where(self):
+        t = self.make()
+        assert t.row_where("a", 3)["b"] == 4.5
+        with pytest.raises(KeyError):
+            t.row_where("a", 99)
+
+    def test_render_contains_everything(self):
+        t = self.make()
+        t.notes.append("a note")
+        text = t.render()
+        assert "== T ==" in text
+        assert "a note" in text
+        assert "2.5" in text and "4.5" in text
+
+    def test_render_empty_table(self):
+        t = ResultTable(title="E", columns=["x"])
+        text = t.render()
+        assert "x" in text
+
+    def test_render_alignment(self):
+        t = self.make()
+        lines = t.render().splitlines()
+        header = next(l for l in lines if "a" in l and "b" in l)
+        separator = lines[lines.index(header) + 1]
+        assert len(header) == len(separator)

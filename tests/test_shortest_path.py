@@ -1,0 +1,146 @@
+"""Tests for repro.net.shortest_path — Dijkstra, PathOracle, and
+cross-validation against networkx."""
+
+import numpy as np
+import pytest
+
+from repro.net import Graph, PathOracle, dijkstra_csr, reconstruct_path
+from repro.net.transit_stub import TransitStubParams, generate_transit_stub
+from repro.sim import RngStreams
+
+
+def line_graph(n: int) -> Graph:
+    g = Graph()
+    g.add_vertices(n)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, float(i + 1))
+    g.freeze()
+    return g
+
+
+class TestDijkstra:
+    def test_line_distances(self):
+        g = line_graph(5)
+        dist, parent = dijkstra_csr(g, 0)
+        assert list(dist) == [0.0, 1.0, 3.0, 6.0, 10.0]
+        assert parent[0] == -1
+        assert parent[4] == 3
+
+    def test_unreachable_is_inf(self):
+        g = Graph()
+        g.add_vertices(3)
+        g.add_edge(0, 1, 1.0)
+        g.freeze()
+        dist, parent = dijkstra_csr(g, 0)
+        assert dist[2] == np.inf
+        assert parent[2] == -1
+
+    def test_source_out_of_range(self):
+        g = line_graph(3)
+        with pytest.raises(IndexError):
+            dijkstra_csr(g, 5)
+
+    def test_prefers_cheaper_multi_hop(self):
+        g = Graph()
+        g.add_vertices(3)
+        g.add_edge(0, 2, 10.0)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 2, 1.0)
+        g.freeze()
+        dist, parent = dijkstra_csr(g, 0)
+        assert dist[2] == 2.0
+        assert parent[2] == 1
+
+
+class TestReconstructPath:
+    def test_path(self):
+        g = line_graph(4)
+        _, parent = dijkstra_csr(g, 0)
+        assert reconstruct_path(parent, 0, 3) == [0, 1, 2, 3]
+
+    def test_trivial(self):
+        g = line_graph(2)
+        _, parent = dijkstra_csr(g, 0)
+        assert reconstruct_path(parent, 0, 0) == [0]
+
+    def test_unreachable_empty(self):
+        g = Graph()
+        g.add_vertices(2)
+        g.add_edge(0, 1, 1.0)
+        g.add_vertex()
+        g.freeze()
+        _, parent = dijkstra_csr(g, 0)
+        assert reconstruct_path(parent, 0, 2) == []
+
+
+class TestPathOracle:
+    @pytest.fixture
+    def graph(self):
+        topo = generate_transit_stub(TransitStubParams(), RngStreams(5))
+        return topo.graph
+
+    def test_symmetry(self, graph):
+        oracle = PathOracle(graph)
+        assert oracle.distance(3, 17) == pytest.approx(oracle.distance(17, 3))
+
+    def test_identity(self, graph):
+        oracle = PathOracle(graph)
+        assert oracle.distance(4, 4) == 0.0
+
+    def test_triangle_inequality(self, graph):
+        oracle = PathOracle(graph)
+        a, b, c = 1, 10, 20
+        assert oracle.distance(a, c) <= oracle.distance(a, b) + oracle.distance(b, c) + 1e-9
+
+    def test_caching_counts_runs(self, graph):
+        oracle = PathOracle(graph)
+        oracle.distance(2, 5)
+        oracle.distance(2, 9)
+        oracle.distance(2, 11)
+        assert oracle.dijkstra_runs == 1
+        oracle.distance(7, 2)  # symmetric reuse of source 2
+        assert oracle.dijkstra_runs == 1
+
+    def test_cache_eviction_bound(self, graph):
+        oracle = PathOracle(graph, max_cached_sources=2)
+        for src in range(5):
+            oracle.distances_from(src)
+        assert oracle.cached_sources <= 2
+
+    def test_path_endpoints_and_cost(self, graph):
+        oracle = PathOracle(graph)
+        p = oracle.path(0, 30)
+        assert p[0] == 0 and p[-1] == 30
+        cost = sum(
+            graph.edge_weight(u, v) for u, v in zip(p, p[1:])
+        )
+        assert cost == pytest.approx(oracle.distance(0, 30))
+
+    def test_hop_count(self, graph):
+        oracle = PathOracle(graph)
+        assert oracle.hop_count(0, 0) == 0
+        assert oracle.hop_count(0, 30) == len(oracle.path(0, 30)) - 1
+
+    def test_pure_python_matches_scipy(self, graph):
+        fast = PathOracle(graph, use_scipy=True)
+        slow = PathOracle(graph, use_scipy=False)
+        for src in (0, 7, 23):
+            np.testing.assert_allclose(
+                fast.distances_from(src), slow.distances_from(src)
+            )
+
+
+class TestAgainstNetworkx:
+    def test_distances_match_networkx(self):
+        nx = pytest.importorskip("networkx")
+        topo = generate_transit_stub(TransitStubParams(), RngStreams(21))
+        g = topo.graph
+        ng = nx.Graph()
+        ng.add_nodes_from(range(g.num_vertices))
+        for u, v, w in g.edges():
+            ng.add_edge(u, v, weight=w)
+        oracle = PathOracle(g, use_scipy=False)
+        lengths = nx.single_source_dijkstra_path_length(ng, 0, weight="weight")
+        ours = oracle.distances_from(0)
+        for v, d in lengths.items():
+            assert ours[v] == pytest.approx(d)

@@ -1,0 +1,145 @@
+"""Tests for the LiveSimulation facade and table serialization."""
+
+import json
+
+import pytest
+
+from repro.core import BristleConfig, LiveSimulation
+from repro.experiments import (
+    ResultTable,
+    table_from_json,
+    table_to_csv,
+    table_to_json,
+    write_table,
+)
+
+
+class TestLiveSimulation:
+    @pytest.fixture
+    def sim(self):
+        return LiveSimulation.create(
+            num_stationary=30,
+            num_mobile=20,
+            seed=44,
+            router_count=100,
+            registry_size=4,
+            move_rate=0.05,
+            binding="early",
+        )
+
+    def test_create_wires_everything(self, sim):
+        assert sim.net.num_nodes == 50
+        assert sim.mobility is not None
+        assert sim.binding is not None
+
+    def test_run_advances_time(self, sim):
+        sim.run(until=20.0)
+        assert sim.engine.now == 20.0
+        assert sim.net.now == 20.0
+        assert sim.engine.dispatched > 0
+
+    def test_moves_happen_and_caches_stay_warm(self, sim):
+        sim.run(until=60.0)
+        assert sim.mobility.moves_performed > 10
+        assert sim.cache_warmness() > 0.8
+
+    def test_summary_fields(self, sim):
+        sim.run(until=15.0)
+        s = sim.summary()
+        assert s["virtual_time"] == 15.0
+        assert s["nodes"] == 50.0
+        assert s["moves"] >= 0.0
+        assert 0.0 <= s["cache_warmness"] <= 1.0
+        assert "binding_messages" in s
+
+    def test_stop_silences_processes(self, sim):
+        sim.run(until=10.0)
+        sim.stop()
+        moves = sim.mobility.moves_performed
+        sim.run(until=100.0)
+        assert sim.mobility.moves_performed == moves
+
+    def test_no_mobility_mode(self):
+        sim = LiveSimulation.create(
+            num_stationary=20, num_mobile=10, move_rate=0.0, binding="none",
+            router_count=100,
+        )
+        assert sim.mobility is None
+        assert sim.binding is None
+        sim.run(until=10.0)
+        assert sim.summary()["moves"] == 0.0
+
+    def test_late_binding_mode(self):
+        sim = LiveSimulation.create(
+            num_stationary=20, num_mobile=10, binding="late", router_count=100
+        )
+        from repro.core.statebinding import LateBinding
+
+        assert isinstance(sim.binding, LateBinding)
+
+    def test_invalid_binding_rejected(self):
+        with pytest.raises(ValueError):
+            LiveSimulation.create(
+                num_stationary=20, num_mobile=10, binding="psychic", router_count=100
+            )
+
+    def test_trace_enabled(self):
+        sim = LiveSimulation.create(
+            num_stationary=20, num_mobile=10, move_rate=0.2, binding="none",
+            router_count=100, trace=True,
+        )
+        sim.run(until=30.0)
+        assert len(sim.tracer) > 0
+
+
+class TestTableIO:
+    def make(self) -> ResultTable:
+        t = ResultTable(title="T", columns=["a", "b"], notes=["note"])
+        t.add_row(a=1, b=2.5)
+        t.add_row(a=3, b=4.5)
+        return t
+
+    def test_csv_round(self):
+        csv_text = table_to_csv(self.make())
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+        assert len(lines) == 3
+
+    def test_csv_missing_cells(self):
+        t = ResultTable(title="T", columns=["a", "b"])
+        t.add_row(a=1)
+        assert "1," in table_to_csv(t)
+
+    def test_json_roundtrip(self):
+        original = self.make()
+        restored = table_from_json(table_to_json(original))
+        assert restored.title == original.title
+        assert restored.columns == original.columns
+        assert restored.rows == original.rows
+        assert restored.notes == original.notes
+
+    def test_json_handles_numpy_scalars(self):
+        import numpy as np
+
+        t = ResultTable(title="T", columns=["x"])
+        t.add_row(x=np.float64(1.5))
+        payload = json.loads(table_to_json(t))
+        assert payload["rows"][0]["x"] == 1.5
+
+    def test_from_json_validates(self):
+        with pytest.raises(ValueError):
+            table_from_json(json.dumps({"title": "T"}))
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [("out.csv", "a,b"), ("out.json", '"title"'), ("out.txt", "== T ==")],
+    )
+    def test_write_table_auto_format(self, tmp_path, name, expected):
+        path = tmp_path / name
+        write_table(self.make(), str(path))
+        assert expected in path.read_text()
+
+    def test_write_table_unknown_format(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_table(self.make(), str(tmp_path / "x"), fmt="xml")

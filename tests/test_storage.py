@@ -1,0 +1,153 @@
+"""Tests for repro.core.storage — the DHT data layer."""
+
+import pytest
+
+from repro.core import BristleConfig, BristleNetwork
+from repro.core.storage import DataStore
+
+
+@pytest.fixture
+def net():
+    cfg = BristleConfig(seed=51, naming="scrambled")
+    return BristleNetwork(cfg, num_stationary=40, num_mobile=30, router_count=100)
+
+
+@pytest.fixture
+def store(net):
+    return DataStore(net, replication=3)
+
+
+class TestPutGet:
+    def test_roundtrip(self, net, store):
+        holders = store.put(12345, "hello")
+        assert len(holders) == 3
+        result = store.get(net.stationary_keys[0], 12345)
+        assert result.found
+        assert result.value == "hello"
+        assert result.trace.success
+
+    def test_owner_is_primary_holder(self, net, store):
+        holders = store.put(999, "x")
+        assert holders[0] == net.mobile_layer.owner_of(999)
+
+    def test_get_missing(self, net, store):
+        result = store.get(net.stationary_keys[0], 777)
+        assert not result.found
+        assert result.value is None
+
+    def test_overwrite_bumps_version(self, net, store):
+        store.put(5, "a")
+        store.put(5, "b")
+        holder = store.holders_for(5)[0]
+        item = store.items_at(holder)[5]
+        assert item.value == "b"
+        assert item.version == 1
+
+    def test_invalid_key(self, net, store):
+        with pytest.raises(ValueError):
+            store.put(net.space.size, "x")
+
+    def test_replication_bounds(self, net):
+        with pytest.raises(ValueError):
+            DataStore(net, replication=0)
+
+    def test_default_replication_from_config(self, net):
+        assert DataStore(net).replication == net.config.replication
+
+    def test_get_accounts_route_cost(self, net, store):
+        store.put(424242, "v")
+        result = store.get(net.stationary_keys[1], 424242)
+        assert result.app_hops >= 0
+        assert result.path_cost >= 0.0
+
+
+class TestMobilitySafety:
+    def test_items_survive_all_moves(self, net, store):
+        """The headline: movement never reshuffles data placement."""
+        keys = [7, 1000, 2**20, 2**31]
+        for k in keys:
+            store.put(k, f"v{k}")
+        holders_before = {k: store.holders_for(k) for k in keys}
+        from repro.core import shuffle_all_mobile
+
+        shuffle_all_mobile(net)
+        for k in keys:
+            assert store.holders_for(k) == holders_before[k]
+            result = store.get(net.stationary_keys[0], k)
+            assert result.found
+            assert result.value == f"v{k}"
+
+    def test_availability_metric(self, net, store):
+        keys = [1, 2, 3, 4]
+        for k in keys[:3]:
+            store.put(k, "x")
+        assert store.availability(keys) == 0.75
+        assert store.availability([]) == 1.0
+
+
+class TestFailureTolerance:
+    def test_replicas_survive_holder_failure(self, net, store):
+        store.put(888, "precious")
+        primary = store.holders_for(888)[0]
+        store.drop_failed_node(primary)
+        result = store.get(net.stationary_keys[0], 888)
+        assert result.found
+        assert result.holder != primary
+
+    def test_all_holders_failed_item_lost(self, net, store):
+        store.put(888, "precious")
+        for h in store.holders_for(888):
+            store.drop_failed_node(h)
+        assert not store.get(net.stationary_keys[0], 888).found
+        assert not store.contains(888)
+
+    def test_restore(self, net, store):
+        store.put(888, "precious")
+        primary = store.holders_for(888)[0]
+        store.drop_failed_node(primary)
+        store.restore_node(primary)
+        assert store.get(net.stationary_keys[0], 888).holder is not None
+
+
+class TestHandoff:
+    def _fresh_key(self, net):
+        k = 11
+        while k in net.nodes:
+            k += 1
+        return k
+
+    def test_join_handoff_takes_ownership(self, net, store):
+        data = [int(k) for k in net.space.random_keys(net.rng, "data", 60, unique=False)]
+        for k in data:
+            store.put(k, f"v{k}")
+        newcomer = self._fresh_key(net)
+        net.join_mobile_node(newcomer)
+        moved = store.handoff_after_join(newcomer)
+        # Every key the newcomer now holds is actually on its shelf.
+        responsible = [k for k in data if newcomer in store.holders_for(k)]
+        for k in responsible:
+            assert k in store.items_at(newcomer)
+        if responsible:
+            assert moved >= len(set(responsible))
+        # All data still readable.
+        for k in data:
+            assert store.get(net.stationary_keys[0], k).found
+
+    def test_leave_handoff_preserves_data(self, net, store):
+        data = [int(k) for k in net.space.random_keys(net.rng, "data2", 60, unique=False)]
+        for k in data:
+            store.put(k, f"v{k}")
+        leaver = net.mobile_keys[0]
+        net.leave_mobile_node(leaver)
+        store.handoff_before_leave(leaver)
+        for k in data:
+            result = store.get(net.stationary_keys[0], k)
+            assert result.found, f"key {k} lost after leave"
+            assert result.value == f"v{k}"
+
+    def test_shelf_sizes_and_copies(self, net, store):
+        for k in (1, 2, 3):
+            store.put(k, "x")
+        assert store.total_copies() == 9  # 3 items × replication 3
+        sizes = store.shelf_sizes()
+        assert sum(sizes.values()) == 9

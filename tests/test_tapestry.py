@@ -1,0 +1,103 @@
+"""Tapestry-specific tests: surrogate-root ownership and digit bumping."""
+
+import numpy as np
+import pytest
+
+from repro.overlay import KeySpace, PastryOverlay, TapestryOverlay
+from repro.sim import RngStreams
+
+
+@pytest.fixture
+def tapestry(space):
+    rng = RngStreams(101)
+    keys = [int(k) for k in space.random_keys(rng, "keys", 150)]
+    ov = TapestryOverlay(space)
+    ov.build(keys)
+    return ov, keys
+
+
+class TestSurrogateOwnership:
+    def test_member_is_own_surrogate(self, tapestry):
+        ov, keys = tapestry
+        for k in keys[:30]:
+            assert ov.owner_of(k) == k
+
+    def test_owner_deterministic(self, tapestry, space):
+        ov, keys = tapestry
+        rng = RngStreams(102)
+        for t in space.random_keys(rng, "t", 30, unique=False):
+            assert ov.owner_of(int(t)) == ov.owner_of(int(t))
+
+    def test_exact_prefix_match_wins(self, space):
+        """When a member matches the target's next digit, no bump happens."""
+        ov = TapestryOverlay(space)
+        # Keys chosen so digit-0 values are 0x1 and 0x2.
+        a = 0x10000000
+        b = 0x20000000
+        ov.build([a, b])
+        # Target with digit0 = 0x1 resolves under a, digit0 = 0x2 under b.
+        assert ov.owner_of(0x1FFFFFFF) == a
+        assert ov.owner_of(0x2FFFFFFF) == b
+
+    def test_digit_bumping_upward(self, space):
+        """A missing digit bumps upward (mod base), never downward."""
+        ov = TapestryOverlay(space)
+        a = 0x30000000  # digit0 = 3
+        b = 0x70000000  # digit0 = 7
+        ov.build([a, b])
+        # Target digit0 = 4: populated digits are {3, 7}; bumping up from
+        # 4 reaches 7 before wrapping to 3.
+        assert ov.owner_of(0x40000000) == b
+        # Target digit0 = 8: bumps up past 8..15, wraps to 3 before 7.
+        assert ov.owner_of(0x80000000) == a
+
+    def test_surrogate_differs_from_ring_nearest(self, tapestry, space):
+        """Tapestry's ownership is genuinely different from Pastry's."""
+        ov, keys = tapestry
+        pastry = PastryOverlay(space)
+        pastry.build(keys)
+        rng = RngStreams(103)
+        targets = [int(t) for t in space.random_keys(rng, "t", 200, unique=False)]
+        diffs = sum(1 for t in targets if ov.owner_of(t) != pastry.owner_of(t))
+        assert diffs > 0
+
+    def test_surrogate_path_is_owner_digits(self, tapestry, space):
+        ov, keys = tapestry
+        t = 123456789
+        assert tuple(ov.surrogate_path(t)) == space.digits(ov.owner_of(t))
+
+
+class TestTapestryRouting:
+    def test_routes_reach_surrogate_root(self, tapestry, space):
+        ov, keys = tapestry
+        rng = RngStreams(104)
+        for t in space.random_keys(rng, "t", 40, unique=False):
+            t = int(t)
+            r = ov.route(keys[0], t)
+            assert r.success
+            assert r.terminus == ov.owner_of(t)
+
+    def test_hops_bounded_by_digit_count(self, tapestry, space):
+        """Each hop fixes ≥1 digit: hops ≤ num_digits."""
+        ov, keys = tapestry
+        rng = RngStreams(105)
+        for t in space.random_keys(rng, "t", 40, unique=False):
+            r = ov.route(keys[5], int(t))
+            assert r.hop_count <= space.num_digits
+
+    def test_prefix_with_owner_grows_monotonically(self, tapestry, space):
+        ov, keys = tapestry
+        rng = RngStreams(106)
+        for t in space.random_keys(rng, "t", 20, unique=False):
+            t = int(t)
+            owner = ov.owner_of(t)
+            r = ov.route(keys[7], t)
+            prefixes = [space.shared_prefix_length(h, owner) for h in r.hops]
+            assert prefixes == sorted(prefixes)
+
+    def test_consistent_from_all_sources(self, tapestry, space):
+        """Every source resolves a key to the same surrogate root."""
+        ov, keys = tapestry
+        t = 987654321
+        terminals = {ov.route(s, t).terminus for s in keys[:25]}
+        assert len(terminals) == 1

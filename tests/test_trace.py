@@ -1,0 +1,48 @@
+"""Tests for repro.sim.trace."""
+
+from repro.sim import NULL_TRACER, Tracer
+
+
+class TestTracer:
+    def test_emit_and_filter(self):
+        t = Tracer()
+        t.emit(1.0, "route", src=1, dst=2)
+        t.emit(2.0, "route", src=1, dst=3)
+        t.emit(3.0, "move", node=5)
+        assert len(t) == 3
+        assert t.count("route") == 2
+        assert t.count("route", src=1, dst=3) == 1
+        assert t.count("move") == 1
+
+    def test_disabled_is_noop(self):
+        t = Tracer(enabled=False)
+        t.emit(1.0, "x", a=1)
+        assert len(t) == 0
+
+    def test_null_tracer_disabled(self):
+        NULL_TRACER.emit(0.0, "x")
+        assert len(NULL_TRACER) == 0
+
+    def test_capacity_drops_oldest(self):
+        t = Tracer(capacity=3)
+        for i in range(5):
+            t.emit(float(i), "e", i=i)
+        assert len(t) == 3
+        assert [rec.get("i") for rec in t] == [2, 3, 4]
+
+    def test_record_accessors(self):
+        t = Tracer()
+        t.emit(1.5, "cat", foo="bar")
+        rec = next(iter(t))
+        assert rec.get("foo") == "bar"
+        assert rec.get("missing", 42) == 42
+        d = rec.as_dict()
+        assert d["time"] == 1.5
+        assert d["category"] == "cat"
+        assert d["foo"] == "bar"
+
+    def test_clear(self):
+        t = Tracer()
+        t.emit(1.0, "x")
+        t.clear()
+        assert len(t) == 0

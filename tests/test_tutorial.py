@@ -1,0 +1,25 @@
+"""The tutorial's code blocks must actually run (docs can't rot)."""
+
+import pathlib
+import re
+
+import pytest
+
+TUTORIAL = pathlib.Path(__file__).parent.parent / "docs" / "tutorial.md"
+
+
+@pytest.mark.skipif(not TUTORIAL.exists(), reason="tutorial not present")
+def test_tutorial_snippets_execute():
+    blocks = re.findall(r"```python\n(.*?)```", TUTORIAL.read_text(), re.S)
+    assert len(blocks) >= 6
+    namespace = {}
+    for i, block in enumerate(blocks):
+        exec(compile(block, f"<tutorial block {i}>", "exec"), namespace)
+
+
+def test_readme_quickstart_executes():
+    readme = pathlib.Path(__file__).parent.parent / "README.md"
+    blocks = re.findall(r"```python\n(.*?)```", readme.read_text(), re.S)
+    assert blocks, "README must carry a quickstart snippet"
+    for i, block in enumerate(blocks):
+        exec(compile(block, f"<readme block {i}>", "exec"), {})

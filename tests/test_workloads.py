@@ -1,0 +1,138 @@
+"""Tests for repro.workloads — capacities, routes, churn."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RngStreams
+from repro.workloads import (
+    ChurnEventType,
+    constant_capacities,
+    pareto_capacities,
+    poisson_churn,
+    sample_key_lookups,
+    sample_stationary_pairs,
+    uniform_capacities,
+)
+
+
+class TestCapacities:
+    def test_uniform_range(self, rng):
+        caps = uniform_capacities(list(range(500)), 15, rng)
+        vals = np.asarray(list(caps.values()))
+        assert vals.min() >= 1
+        assert vals.max() <= 15
+        assert len(caps) == 500
+        # All integer values (paper: number of connections).
+        assert np.all(vals == np.round(vals))
+
+    def test_uniform_covers_range(self, rng):
+        caps = uniform_capacities(list(range(2000)), 15, rng)
+        assert set(map(int, caps.values())) == set(range(1, 16))
+
+    def test_uniform_max_one(self, rng):
+        caps = uniform_capacities([1, 2, 3], 1, rng)
+        assert all(c == 1.0 for c in caps.values())
+
+    def test_uniform_invalid_max(self, rng):
+        with pytest.raises(ValueError):
+            uniform_capacities([1], 0, rng)
+
+    def test_constant(self):
+        caps = constant_capacities([5, 6], 3.0)
+        assert caps == {5: 3.0, 6: 3.0}
+        with pytest.raises(ValueError):
+            constant_capacities([1], 0.0)
+
+    def test_pareto_heavy_tail(self, rng):
+        caps = pareto_capacities(list(range(3000)), shape=1.2, cap=50.0, rng=rng)
+        vals = np.asarray(list(caps.values()))
+        assert vals.min() >= 1.0
+        assert vals.max() <= 50.0
+        # Heavy tail: mean well above median.
+        assert vals.mean() > np.median(vals)
+
+    def test_pareto_requires_rng(self):
+        with pytest.raises(ValueError):
+            pareto_capacities([1], rng=None)
+
+
+class TestRouteSamples:
+    def test_pairs_distinct_endpoints(self, rng):
+        keys = list(range(100, 200))
+        pairs = sample_stationary_pairs(keys, 500, rng)
+        assert len(pairs) == 500
+        assert all(s != t for s, t in pairs)
+        assert all(s in keys and t in keys for s, t in pairs)
+
+    def test_pairs_need_two_nodes(self, rng):
+        with pytest.raises(ValueError):
+            sample_stationary_pairs([1], 5, rng)
+
+    def test_pairs_reproducible(self):
+        keys = list(range(50))
+        a = sample_stationary_pairs(keys, 100, RngStreams(4))
+        b = sample_stationary_pairs(keys, 100, RngStreams(4))
+        assert a == b
+
+    def test_lookups_in_space(self, rng):
+        members = [10, 20, 30]
+        lookups = sample_key_lookups(members, 2**16, 200, rng)
+        assert len(lookups) == 200
+        for src, key in lookups:
+            assert src in members
+            assert 0 <= key < 2**16
+
+
+class TestChurn:
+    def test_sorted_by_time(self, rng):
+        sched = poisson_churn(list(range(20)), duration=50.0, rng=rng, move_rate=0.2)
+        times = [e.time for e in sched]
+        assert times == sorted(times)
+
+    def test_move_events_only_when_requested(self, rng):
+        sched = poisson_churn(list(range(20)), duration=50.0, rng=rng, move_rate=0.2)
+        kinds = {e.kind for e in sched}
+        assert kinds <= {ChurnEventType.MOVE}
+
+    def test_no_events_after_leave(self, rng):
+        sched = poisson_churn(
+            list(range(50)), duration=100.0, rng=rng, move_rate=0.5, leave_rate=0.2
+        )
+        left_at = {}
+        for e in sched:
+            if e.kind is ChurnEventType.LEAVE:
+                assert e.host not in left_at
+                left_at[e.host] = e.time
+        for e in sched:
+            if e.kind is ChurnEventType.MOVE and e.host in left_at:
+                assert e.time <= left_at[e.host]
+
+    def test_joins_spread_without_rate(self, rng):
+        sched = poisson_churn(
+            [], duration=10.0, rng=rng, join_hosts=[100, 101, 102]
+        )
+        joins = [e for e in sched if e.kind is ChurnEventType.JOIN]
+        assert len(joins) == 3
+        assert all(0 < e.time < 10.0 for e in joins)
+
+    def test_join_rate_caps_at_duration(self, rng):
+        sched = poisson_churn(
+            [], duration=1.0, rng=rng, join_hosts=list(range(1000)), join_rate=5.0
+        )
+        assert all(e.time <= 1.0 for e in sched)
+
+    def test_until_filter(self, rng):
+        sched = poisson_churn(list(range(20)), duration=50.0, rng=rng, move_rate=0.2)
+        early = sched.until(10.0)
+        assert all(e.time <= 10.0 for e in early)
+
+    def test_counts(self, rng):
+        sched = poisson_churn(
+            list(range(30)), duration=20.0, rng=rng, move_rate=0.3, leave_rate=0.05
+        )
+        counts = sched.counts()
+        assert counts[ChurnEventType.MOVE] + counts[ChurnEventType.LEAVE] == len(sched)
+
+    def test_invalid_duration(self, rng):
+        with pytest.raises(ValueError):
+            poisson_churn([1], duration=0.0, rng=rng)
