@@ -2,7 +2,6 @@
 load balance in sampled trees (8b)."""
 
 import numpy as np
-import pytest
 
 from repro.experiments import Fig8Params, run_fig8a, run_fig8b
 

@@ -1,7 +1,6 @@
 """Figure 9 bench: LDT advertisement cost with vs without network
 locality as the Bristle population grows into the underlay."""
 
-import pytest
 
 from repro.experiments import Fig9Params, run_fig9
 

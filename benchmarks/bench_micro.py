@@ -6,9 +6,13 @@ against performance regressions in the inner loops the experiment sweeps
 depend on (Dijkstra, overlay routing, LDT construction, event dispatch).
 """
 
+import time
+
+import numpy as np
 import pytest
 
 from repro.core import LDTMember, build_ldt
+from repro.experiments.common import ResultTable
 from repro.net import PathOracle, TransitStubParams, generate_transit_stub
 from repro.net.shortest_path import dijkstra_csr
 from repro.overlay import ChordOverlay, KeySpace, PastryOverlay
@@ -52,6 +56,69 @@ def test_oracle_cached_distance(benchmark, topo):
     oracle.distances_from(0)
 
     benchmark(oracle.distance, 0, topo.num_routers - 1)
+
+
+def test_oracle_batched_beats_per_query(topo, record_table):
+    """The ISSUE-1 acceptance probe: on a 10,000-route workload the
+    batched fast path (one multi-source Dijkstra + vectorised gathers)
+    must beat 10,000 individual ``distance()`` calls.  Timings and cache
+    counters land in ``results/micro_oracle_batched.txt``.
+    """
+    n = topo.graph.num_vertices
+    gen = RngStreams(11).stream("pairs")
+    routes = 10_000
+    pairs = list(
+        zip(
+            gen.integers(0, n, size=routes).tolist(),
+            gen.integers(0, n, size=routes).tolist(),
+        )
+    )
+
+    per_query = PathOracle(topo.graph)
+    t0 = time.perf_counter()
+    costs_per = np.asarray([per_query.distance(u, v) for u, v in pairs])
+    per_query_s = time.perf_counter() - t0
+
+    batched = PathOracle(topo.graph)
+    t0 = time.perf_counter()
+    batched.prewarm(u for u, _ in pairs)
+    costs_bat = batched.route_costs(pairs)
+    batched_s = time.perf_counter() - t0
+
+    np.testing.assert_allclose(costs_bat, costs_per)
+    assert batched_s < per_query_s, (
+        f"batched path ({batched_s:.3f}s) should beat "
+        f"per-query ({per_query_s:.3f}s)"
+    )
+
+    table = ResultTable(
+        title="Micro — batched oracle vs per-query distance()",
+        columns=[
+            "variant", "time (ms)", "routes/s", "dijkstra runs",
+            "batched calls", "cache hits", "cache misses",
+        ],
+        notes=[
+            f"{routes} routes over {n} routers "
+            f"(speedup: {per_query_s / batched_s:.1f}x)",
+        ],
+    )
+    for name, secs, oracle in (
+        ("per-query distance()", per_query_s, per_query),
+        ("prewarm + route_costs", batched_s, batched),
+    ):
+        stats = oracle.cache_stats()
+        table.add_row(
+            **{
+                "variant": name,
+                "time (ms)": 1000.0 * secs,
+                "routes/s": routes / secs,
+                "dijkstra runs": stats["dijkstra_runs"],
+                "batched calls": stats["batch_calls"],
+                "cache hits": stats["hits"],
+                "cache misses": stats["misses"],
+            }
+        )
+    record_table("micro_oracle_batched", table)
 
 
 def test_chord_route(benchmark, chord_1k):

@@ -2,7 +2,6 @@
 workload (end-to-end semantics, path cost, maintenance, reliability,
 load)."""
 
-import pytest
 
 from repro.experiments import Table1Params, run_table1
 

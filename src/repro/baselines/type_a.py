@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Set
+from typing import Dict, Set
 
 from ..net.placement import Placement
 from ..net.shortest_path import PathOracle

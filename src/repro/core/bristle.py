@@ -20,7 +20,7 @@ with address resolution.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -224,6 +224,31 @@ class BristleNetwork:
             return 0.0
         return self.oracle.distance(
             self.placement.router_of(a), self.placement.router_of(b)
+        )
+
+    def route_costs_between_keys(
+        self, pairs: Sequence[Tuple[int, int]]
+    ) -> np.ndarray:
+        """Underlay shortest-path weight for every ``(a, b)`` key pair.
+
+        Vectorised counterpart of :meth:`network_distance_between_keys`:
+        the pairs are mapped to attachment routers and charged through
+        :meth:`PathOracle.route_costs` in one batched gather.
+        """
+        router = self.placement.router_of
+        return self.oracle.route_costs(
+            [(router(a), router(b)) for a, b in pairs]
+        )
+
+    def prewarm_oracle(self, keys: Optional[Sequence[int]] = None) -> int:
+        """Batch-compute oracle rows for the attachment routers of ``keys``
+        (default: every node) — one multi-source Dijkstra call instead of
+        one per source.  A sweep whose hop endpoints are all members then
+        only ever reads the cache.  Returns the number of rows computed.
+        """
+        targets = keys if keys is not None else list(self.nodes)
+        return self.oracle.prewarm(
+            sorted({self.placement.router_of(k) for k in targets})
         )
 
     def registry_size_for(self, key: int) -> int:

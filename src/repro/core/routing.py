@@ -150,6 +150,9 @@ def route_preferring_resolved(
     net: BristleNetwork,
     source: int,
     target_key: int,
+    *,
+    p_stale: Optional[float] = None,
+    stale_stream: str = "routing.stale",
 ) -> RouteTrace:
     """Bristle-optimised routing: among neighbours that make key-space
     progress, prefer one whose address is already resolved (a stationary
@@ -159,7 +162,13 @@ def route_preferring_resolved(
     stationary layer should reduce the help of nodes in the mobile layer"
     as a *routing* policy (the naming scheme achieves it structurally);
     exposed for the ablation benchmarks.
+
+    ``p_stale`` follows the same semantics (and the same ``routing.stale``
+    RNG stream) as :func:`route_with_resolution`, so the two policies are
+    comparable at any staleness level, not just the cold-cache extreme.
     """
+    if p_stale is None:
+        p_stale = net.config.p_stale
     overlay = net.mobile_layer
     owner = overlay.owner_of(target_key)
     dist = net.network_distance_between_keys
@@ -186,7 +195,12 @@ def route_preferring_resolved(
             nxt = overlay.next_hop(current, target_key)
             if nxt is None or nxt in seen:
                 break
-        if net.is_mobile(nxt) and net.config.p_stale >= 1.0:
+        needs_resolution = (
+            net.is_mobile(nxt)
+            and p_stale > 0.0
+            and (p_stale >= 1.0 or net.rng.random(stale_stream) < p_stale)
+        )
+        if needs_resolution:
             resolutions += 1
             entry = (
                 current

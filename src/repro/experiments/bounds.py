@@ -84,7 +84,6 @@ def run_ldt_depth_scaling(
         notes=[f"uniform capacity {branching_capacity} (k = {branching_capacity}), "
                f"{trees_per_size} trees per size"],
     )
-    rng = RngStreams(seed)
     for n in sizes:
         registry = max(1, math.ceil(math.log2(n)))
         depths = []

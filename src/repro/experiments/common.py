@@ -8,7 +8,7 @@ figures/tables, and which tests assert against.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Mapping
 
 __all__ = ["ResultTable", "format_float"]
 
@@ -38,12 +38,16 @@ class ResultTable:
         One dict per row; missing cells render as ``""``.
     notes:
         Free-form caption lines (setup parameters, caveats).
+    footers:
+        Free-form lines rendered *after* the body — run observability
+        (oracle cache counters, timings) as opposed to setup captions.
     """
 
     title: str
     columns: List[str]
     rows: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
     notes: List[str] = dataclasses.field(default_factory=list)
+    footers: List[str] = dataclasses.field(default_factory=list)
 
     def add_row(self, **cells: Any) -> None:
         """Append a row; unknown column names are rejected."""
@@ -51,6 +55,27 @@ class ResultTable:
         if unknown:
             raise KeyError(f"unknown columns {sorted(unknown)}; declared {self.columns}")
         self.rows.append(dict(cells))
+
+    def add_footer(self, line: str) -> None:
+        """Append one observability line below the table body."""
+        self.footers.append(line)
+
+    def add_cache_footer(
+        self, stats: Mapping[str, float], label: str = "oracle cache"
+    ) -> None:
+        """Append a :meth:`PathOracle.cache_stats` snapshot as a footer.
+
+        Renders hits / misses (with the hit rate), evictions, and the
+        number of Dijkstra runs with how many batched calls computed them.
+        """
+        hit_rate = stats.get("hit_rate", float("nan"))
+        rate = "" if hit_rate != hit_rate else f" ({100.0 * hit_rate:.1f}% hit)"
+        self.footers.append(
+            f"{label}: {int(stats['hits'])} hits / {int(stats['misses'])} misses"
+            f"{rate}, {int(stats['evictions'])} evictions, "
+            f"{int(stats['dijkstra_runs'])} Dijkstra runs "
+            f"({int(stats['batch_calls'])} batched calls)"
+        )
 
     def column(self, name: str) -> List[Any]:
         """All values of one column (missing cells become ``None``)."""
@@ -82,6 +107,7 @@ class ResultTable:
         lines.append("  ".join("-" * w for w in widths))
         for row in body:
             lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        lines.extend("   " + footer for footer in self.footers)
         return "\n".join(lines)
 
     def __str__(self) -> str:  # pragma: no cover - convenience

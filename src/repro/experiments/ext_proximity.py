@@ -53,11 +53,22 @@ def run_proximity_routing(
     keys = [int(k) for k in space.random_keys(rng, "keys", p.num_nodes)]
     for k in keys:
         placement.attach(k)
+    # Pre-warm with the attachment routers — the only sources any hop of
+    # this sweep can query — via one batched multi-source Dijkstra.
+    oracle.prewarm(placement.router_of(k) for k in keys)
 
     def distance(a: int, b: int) -> float:
         if a == b:
             return 0.0
         return oracle.distance(placement.router_of(a), placement.router_of(b))
+
+    def hop_costs(hops) -> float:
+        """Total underlay cost of a hop sequence, batched per route."""
+        pairs = [
+            (placement.router_of(a), placement.router_of(b))
+            for a, b in zip(hops, hops[1:])
+        ]
+        return float(oracle.route_costs(pairs).sum())
 
     blind = TornadoOverlay(space)
     blind.build(keys)
@@ -76,30 +87,24 @@ def run_proximity_routing(
         t = int(gen.integers(space.size))
         # Proximity-blind table, standard rule.
         r = blind.route(s, t)
-        variants["blind"].append(
-            sum(distance(a, b) for a, b in zip(r.hops, r.hops[1:]))
-        )
+        variants["blind"].append(hop_costs(r.hops))
         hop_counts["blind"].append(r.hop_count)
         # Proximity-aware table, standard rule.
         r = aware.route(s, t)
-        variants["aware"].append(
-            sum(distance(a, b) for a, b in zip(r.hops, r.hops[1:]))
-        )
+        variants["aware"].append(hop_costs(r.hops))
         hop_counts["aware"].append(r.hop_count)
         # Proximity-aware table + §3's greedy minimal-cost link per hop.
         owner = aware.owner_of(t)
-        cost = 0.0
-        hops = 0
+        greedy_hops = [s]
         current = s
         while current != owner:
             nxt = aware.next_hop_proximal(current, t)
             if nxt is None:
                 break
-            cost += distance(current, nxt)
-            hops += 1
+            greedy_hops.append(nxt)
             current = nxt
-        variants["aware+greedy-link"].append(cost)
-        hop_counts["aware+greedy-link"].append(hops)
+        variants["aware+greedy-link"].append(hop_costs(greedy_hops))
+        hop_counts["aware+greedy-link"].append(len(greedy_hops) - 1)
 
     table = ResultTable(
         title="Extension — §3 optimisation (1): proximity-aware routing",
@@ -120,4 +125,5 @@ def run_proximity_routing(
                 "cost vs blind (x)": mean_cost / base if base else float("nan"),
             }
         )
+    table.add_cache_footer(oracle.cache_stats())
     return table

@@ -8,7 +8,15 @@ structured tracer.
 
 from .engine import Engine, SimulationError
 from .events import Event, EventKind, Priority
-from .metrics import Counter, Histogram, MetricsRegistry, Summary, TimeSeries, summarize
+from .metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Summary,
+    TimeSeries,
+    record_cache_stats,
+    summarize,
+)
 from .rng import RngStreams, derive_seed
 from .timers import Lease, TimerWheel
 from .trace import NULL_TRACER, TraceRecord, Tracer
@@ -22,6 +30,7 @@ __all__ = [
     "Counter",
     "Histogram",
     "MetricsRegistry",
+    "record_cache_stats",
     "Summary",
     "TimeSeries",
     "summarize",

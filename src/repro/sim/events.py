@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, Tuple
 
 __all__ = ["Event", "EventKind", "Priority"]
 

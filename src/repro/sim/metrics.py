@@ -16,7 +16,14 @@ from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Counter", "Histogram", "TimeSeries", "MetricsRegistry", "summarize"]
+__all__ = [
+    "Counter",
+    "Histogram",
+    "TimeSeries",
+    "MetricsRegistry",
+    "record_cache_stats",
+    "summarize",
+]
 
 
 class Counter:
@@ -29,6 +36,10 @@ class Counter:
     def inc(self, amount: int = 1) -> None:
         """Add ``amount`` (may be negative for gauges-as-counters)."""
         self.value += amount
+
+    def set(self, value: int) -> None:
+        """Overwrite the counter (mirroring an externally-kept tally)."""
+        self.value = value
 
     def reset(self) -> None:
         """Zero the counter."""
@@ -182,6 +193,30 @@ class MetricsRegistry:
         for h in self._histograms.values():
             h.reset()
         self._series.clear()
+
+
+def record_cache_stats(
+    registry: MetricsRegistry,
+    stats: Mapping[str, float],
+    prefix: str = "oracle",
+) -> None:
+    """Mirror a :meth:`PathOracle.cache_stats` snapshot into ``registry``.
+
+    Integer tallies (hits, misses, evictions, dijkstra_runs, …) become
+    counters named ``<prefix>.<stat>``; derived ratios such as
+    ``hit_rate`` are recorded as histogram observations so repeated
+    snapshots aggregate sensibly (``<prefix>.hit_rate.mean`` in
+    :meth:`MetricsRegistry.snapshot`).  NaN ratios (no lookups yet) are
+    skipped.
+    """
+    for name, value in stats.items():
+        v = float(value)
+        if math.isnan(v):
+            continue
+        if v != int(v) or name.endswith("rate"):
+            registry.histogram(f"{prefix}.{name}").observe(v)
+        else:
+            registry.counter(f"{prefix}.{name}").set(int(v))
 
 
 @dataclasses.dataclass

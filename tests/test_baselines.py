@@ -2,9 +2,6 @@
 
 import pytest
 
-from repro.baselines import TypeAHSP2P, TypeBMobileIPHSP2P
-from repro.overlay import KeySpace
-from repro.sim import RngStreams
 from repro.workloads import build_comparison_scenario
 
 

@@ -1,11 +1,10 @@
 """CAN-specific tests: coordinates, zones, tessellation, hop scaling."""
 
-import math
 
 import numpy as np
 import pytest
 
-from repro.overlay import CANOverlay, KeySpace, Zone
+from repro.overlay import CANOverlay, Zone
 from repro.sim import RngStreams
 
 

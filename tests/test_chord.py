@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.overlay import ChordOverlay, KeySpace
+from repro.overlay import ChordOverlay
 from repro.sim import RngStreams
 
 

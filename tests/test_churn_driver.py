@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import BristleConfig, BristleNetwork
 from repro.core.storage import DataStore
-from repro.sim import Engine
 from repro.workloads import ChurnDriver, ChurnEvent, ChurnEventType, ChurnSchedule
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Engine, EventKind, Priority, SimulationError
+from repro.sim import Engine, EventKind, SimulationError
 
 
 class TestScheduling:

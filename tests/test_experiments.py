@@ -5,7 +5,6 @@ These are the repository's headline assertions — each test pins one claim
 from §4 of the paper.
 """
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Tests for repro.core.failure — heartbeat monitoring (§2.3.2)."""
 
-import math
 
 import pytest
 

@@ -1,9 +1,8 @@
 """Tests for adaptive fault-tolerant routing (Overlay.route_avoiding)."""
 
-import numpy as np
 import pytest
 
-from repro.overlay import KeySpace, make_overlay
+from repro.overlay import make_overlay
 from repro.overlay.factory import OVERLAY_NAMES
 from repro.sim import RngStreams
 

@@ -1,7 +1,6 @@
 """Hardening tests: edge cases, determinism of experiment outputs, and
 property tests for serialization and schedules."""
 
-import math
 
 import pytest
 from hypothesis import given, settings
@@ -14,7 +13,7 @@ from repro.experiments import (
     table_from_json,
     table_to_json,
 )
-from repro.overlay import CANOverlay, KeySpace
+from repro.overlay import CANOverlay
 from repro.sim import RngStreams
 from repro.sim.events import EventKind, Priority, kind_default_priority
 

@@ -6,7 +6,6 @@ stories that mirror the paper's motivating use cases.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import (
     BristleConfig,

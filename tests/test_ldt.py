@@ -113,7 +113,7 @@ class TestLevelsAndCosts:
 
     def test_edge_costs_and_total(self):
         tree = build_ldt(LDTMember(0, 4.0), members([1, 1, 1]))
-        dist = lambda a, b: abs(a - b) * 10.0
+        dist = lambda a, b: abs(a - b) * 10.0  # noqa: E731
         costs = tree.edge_costs(dist)
         assert len(costs) == tree.message_count
         assert tree.total_cost(dist) == pytest.approx(sum(costs))

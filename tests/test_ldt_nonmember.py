@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.core import build_non_member_tree
-from repro.overlay import ChordOverlay, KeySpace
+from repro.overlay import ChordOverlay
 from repro.sim import RngStreams
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import BristleNode, LocationDirectory, RegistrationManager
 from repro.net import NetworkAddress
-from repro.overlay import ChordOverlay, KeySpace
+from repro.overlay import ChordOverlay
 from repro.sim import RngStreams
 
 ADDR = NetworkAddress(router=5, port=9)

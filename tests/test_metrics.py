@@ -133,3 +133,68 @@ class TestSummarize:
         assert s.min == 1.0
         assert s.max == 3.0
         assert s.p50 == 2.0
+
+
+class TestCounterSet:
+    def test_set_overwrites(self):
+        c = Counter("x")
+        c.inc(3)
+        c.set(10)
+        assert c.value == 10
+
+    def test_set_then_inc(self):
+        c = Counter("x")
+        c.set(5)
+        c.inc()
+        assert c.value == 6
+
+
+class TestRecordCacheStats:
+    def test_counters_mirrored(self):
+        from repro.sim import record_cache_stats
+
+        reg = MetricsRegistry()
+        record_cache_stats(
+            reg,
+            {"hits": 9.0, "misses": 1.0, "evictions": 0.0, "hit_rate": 0.9},
+        )
+        assert reg.counter("oracle.hits").value == 9
+        assert reg.counter("oracle.misses").value == 1
+        assert reg.counter("oracle.evictions").value == 0
+
+    def test_rate_recorded_as_histogram(self):
+        from repro.sim import record_cache_stats
+
+        reg = MetricsRegistry()
+        record_cache_stats(reg, {"hit_rate": 0.75}, prefix="o")
+        assert reg.histogram("o.hit_rate").mean() == pytest.approx(0.75)
+        assert "o.hit_rate.mean" in reg.snapshot()
+
+    def test_nan_rate_skipped(self):
+        from repro.sim import record_cache_stats
+
+        reg = MetricsRegistry()
+        record_cache_stats(reg, {"hit_rate": float("nan"), "hits": 0})
+        assert len(reg.histogram("oracle.hit_rate")) == 0
+
+    def test_repeated_snapshots_overwrite_counters(self):
+        from repro.sim import record_cache_stats
+
+        reg = MetricsRegistry()
+        record_cache_stats(reg, {"hits": 5})
+        record_cache_stats(reg, {"hits": 12})
+        assert reg.counter("oracle.hits").value == 12
+
+    def test_integrates_with_path_oracle(self):
+        from repro.net import PathOracle, TransitStubParams, generate_transit_stub
+        from repro.sim import RngStreams, record_cache_stats
+
+        topo = generate_transit_stub(TransitStubParams(), RngStreams(5))
+        oracle = PathOracle(topo.graph)
+        oracle.distance(0, 9)
+        oracle.distance(0, 11)
+        reg = MetricsRegistry()
+        record_cache_stats(reg, oracle.cache_stats())
+        snap = reg.snapshot()
+        assert snap["oracle.dijkstra_runs"] == 1
+        assert snap["oracle.hits"] == 1

@@ -9,7 +9,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.overlay import KeySpace, RouteResult, make_overlay
+from repro.overlay import make_overlay
 from repro.overlay.factory import OVERLAY_NAMES
 from repro.sim import RngStreams
 

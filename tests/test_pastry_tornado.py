@@ -3,7 +3,7 @@ proximity/capacity-aware slot selection, §3 proximal routing."""
 
 import pytest
 
-from repro.overlay import KeySpace, PastryOverlay, TornadoOverlay
+from repro.overlay import PastryOverlay, TornadoOverlay
 from repro.sim import RngStreams
 
 
@@ -79,7 +79,7 @@ class TestTornadoSlotSelection:
     def test_proximity_selection_prefers_close(self, space, keys):
         # Distance = absolute key difference (a synthetic metric): slots
         # must then prefer numerically close candidates over far ones.
-        prox = lambda a, b: abs(a - b)
+        prox = lambda a, b: abs(a - b)  # noqa: E731
         ov = TornadoOverlay(space, proximity=prox)
         ov.build(keys)
         far = TornadoOverlay(space, proximity=lambda a, b: -abs(a - b))
@@ -99,7 +99,7 @@ class TestTornadoSlotSelection:
 
 class TestProximalNextHop:
     def test_proximal_hop_makes_progress(self, space, keys):
-        prox = lambda a, b: abs(a - b)
+        prox = lambda a, b: abs(a - b)  # noqa: E731
         ov = TornadoOverlay(space, proximity=prox)
         ov.build(keys)
         rng = RngStreams(53)
@@ -114,7 +114,7 @@ class TestProximalNextHop:
             assert nxt in ov.neighbors_of(current)
 
     def test_proximal_route_terminates(self, space, keys):
-        prox = lambda a, b: abs(a - b)
+        prox = lambda a, b: abs(a - b)  # noqa: E731
         ov = TornadoOverlay(space, proximity=prox)
         ov.build(keys)
         rng = RngStreams(54)
@@ -136,7 +136,7 @@ class TestProximalNextHop:
         assert ov.next_hop_proximal(keys[1], t) == ov.next_hop(keys[1], t)
 
     def test_proximal_picks_cheapest_progressing_link(self, space, keys):
-        prox = lambda a, b: abs(a - b)
+        prox = lambda a, b: abs(a - b)  # noqa: E731
         ov = TornadoOverlay(space, proximity=prox)
         ov.build(keys)
         t = keys[40]

@@ -1,6 +1,5 @@
 """Tests for repro.experiments.plots — ASCII charts."""
 
-import math
 
 import pytest
 

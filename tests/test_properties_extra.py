@@ -1,16 +1,13 @@
 """Additional property-based tests: CAN geometry, naming schemes,
 non-member trees, and the engine's ordering guarantees."""
 
-import math
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core import ClusteredNaming, build_non_member_tree
 from repro.overlay import CANOverlay, ChordOverlay, KeySpace
-from repro.overlay.can import Zone
 from repro.sim import Engine, RngStreams
 
 SPACE16 = KeySpace(bits=16, digit_bits=4)

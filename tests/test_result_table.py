@@ -1,6 +1,5 @@
 """Tests for repro.experiments.common.ResultTable."""
 
-import math
 
 import pytest
 
@@ -70,3 +69,49 @@ class TestResultTable:
         header = next(l for l in lines if "a" in l and "b" in l)
         separator = lines[lines.index(header) + 1]
         assert len(header) == len(separator)
+
+
+class TestFooters:
+    def test_footers_render_after_body(self):
+        t = ResultTable(title="T", columns=["a"])
+        t.add_row(a=1)
+        t.add_footer("a footer line")
+        lines = t.render().splitlines()
+        assert lines[-1] == "   a footer line"
+
+    def test_no_footers_by_default(self):
+        t = ResultTable(title="T", columns=["a"])
+        t.add_row(a=1)
+        assert "footer" not in t.render()
+
+    def test_cache_footer_format(self):
+        t = ResultTable(title="T", columns=["a"])
+        t.add_cache_footer(
+            {
+                "hits": 90.0,
+                "misses": 10.0,
+                "evictions": 2.0,
+                "dijkstra_runs": 10.0,
+                "batch_calls": 1.0,
+                "hit_rate": 0.9,
+            }
+        )
+        text = t.render()
+        assert "oracle cache: 90 hits / 10 misses (90.0% hit)" in text
+        assert "2 evictions" in text
+        assert "10 Dijkstra runs (1 batched calls)" in text
+
+    def test_cache_footer_nan_rate(self):
+        t = ResultTable(title="T", columns=["a"])
+        t.add_cache_footer(
+            {
+                "hits": 0,
+                "misses": 0,
+                "evictions": 0,
+                "dijkstra_runs": 0,
+                "batch_calls": 0,
+                "hit_rate": float("nan"),
+            },
+            label="cold cache",
+        )
+        assert "cold cache: 0 hits / 0 misses, 0 evictions" in t.render()

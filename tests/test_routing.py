@@ -130,3 +130,60 @@ class TestRoutePreferringResolved:
         # The last hop lands on the mobile target; with p_stale = 1 it
         # must have been resolved.
         assert tr.resolutions >= 1
+
+
+class TestFractionalStaleness:
+    """Both policies draw fractional staleness from the same
+    ``routing.stale`` Bernoulli stream, so the ablation is comparable at
+    any ``p_stale`` (prefer_resolved used to collapse p_stale < 1 to 0)."""
+
+    def test_prefer_resolved_no_resolutions_at_p0(self, net):
+        s = net.stationary_keys[0]
+        for t in net.mobile_keys[:10]:
+            tr = route_preferring_resolved(net, s, t, p_stale=0.0)
+            assert tr.resolutions == 0
+
+    def test_prefer_resolved_partial_staleness_in_between(self, net):
+        s = net.stationary_keys[0]
+        total_half = sum(
+            route_preferring_resolved(net, s, t, p_stale=0.5).resolutions
+            for t in net.mobile_keys
+        )
+        total_full = sum(
+            route_preferring_resolved(net, s, t, p_stale=1.0).resolutions
+            for t in net.mobile_keys
+        )
+        assert 0 < total_half < total_full
+
+    @pytest.mark.parametrize(
+        "route_fn", [route_with_resolution, route_preferring_resolved]
+    )
+    def test_half_staleness_resolves_about_half(self, net, route_fn):
+        """Acceptance: at p_stale = 0.5 each policy's resolution count is
+        statistically consistent with its own p_stale = 1.0 run — the
+        next-hop choice is independent of the draw, so the count is
+        Binomial(mobile hops, 0.5)."""
+        targets = net.mobile_keys + net.stationary_keys[:20]
+        sources = net.stationary_keys[:3]
+        full = sum(
+            route_fn(net, s, t, p_stale=1.0).resolutions
+            for s in sources
+            for t in targets
+        )
+        half = sum(
+            route_fn(net, s, t, p_stale=0.5).resolutions
+            for s in sources
+            for t in targets
+        )
+        assert full > 0
+        assert 0.35 * full < half < 0.65 * full
+
+    def test_policies_default_to_config_p_stale(self):
+        from repro.core import BristleConfig, BristleNetwork, shuffle_all_mobile
+
+        cfg = BristleConfig(seed=7, naming="clustered", p_stale=0.0)
+        net = BristleNetwork(cfg, num_stationary=60, num_mobile=40, router_count=100)
+        shuffle_all_mobile(net)
+        for t in net.mobile_keys[:5]:
+            assert route_preferring_resolved(net, net.stationary_keys[0], t).resolutions == 0
+            assert route_with_resolution(net, net.stationary_keys[0], t).resolutions == 0

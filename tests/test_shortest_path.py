@@ -144,3 +144,219 @@ class TestAgainstNetworkx:
         ours = oracle.distances_from(0)
         for v, d in lengths.items():
             assert ours[v] == pytest.approx(d)
+
+
+class TestReconstructPathValidation:
+    def test_target_out_of_range(self):
+        g = line_graph(3)
+        _, parent = dijkstra_csr(g, 0)
+        with pytest.raises(IndexError, match="target 5 out of range"):
+            reconstruct_path(parent, 0, 5)
+
+    def test_negative_target_rejected(self):
+        """Negative targets must not silently wrap around (numpy indexing)."""
+        g = line_graph(3)
+        _, parent = dijkstra_csr(g, 0)
+        with pytest.raises(IndexError, match="target -1 out of range"):
+            reconstruct_path(parent, 0, -1)
+
+    def test_source_out_of_range(self):
+        g = line_graph(3)
+        _, parent = dijkstra_csr(g, 0)
+        with pytest.raises(IndexError, match="source"):
+            reconstruct_path(parent, 9, 1)
+
+
+class TestLRUPromotion:
+    """The bounded cache is a real LRU: hits promote, evictions take the
+    least-recently-used row, and the parent cache stays in lockstep."""
+
+    @pytest.fixture
+    def graph(self):
+        topo = generate_transit_stub(TransitStubParams(), RngStreams(5))
+        return topo.graph
+
+    def test_hit_promotes_entry(self, graph):
+        oracle = PathOracle(graph, max_cached_sources=2)
+        oracle.distances_from(0)
+        oracle.distances_from(1)
+        oracle.distances_from(0)  # promote 0 above 1
+        oracle.distances_from(2)  # must evict 1, not 0
+        runs = oracle.dijkstra_runs
+        oracle.distances_from(0)
+        assert oracle.dijkstra_runs == runs, "0 was promoted, must still be cached"
+        oracle.distances_from(1)
+        assert oracle.dijkstra_runs == runs + 1, "1 was the LRU victim"
+
+    def test_repeated_source_sweep_runs_flat(self, graph):
+        """Acceptance: with the bound set, a repeated-source sweep performs
+        no more Dijkstra runs than distinct sources (FIFO would thrash)."""
+        sources = [0, 1, 2, 3]
+        oracle = PathOracle(graph, max_cached_sources=len(sources))
+        for _ in range(5):
+            for s in sources:
+                oracle.distance(s, 17)
+        assert oracle.dijkstra_runs == len(sources)
+        assert oracle.cache_evictions == 0
+
+    def test_eviction_counter_and_bound(self, graph):
+        oracle = PathOracle(graph, max_cached_sources=2)
+        for s in range(5):
+            oracle.distances_from(s)
+        assert oracle.cached_sources == 2
+        assert oracle.cache_evictions == 3
+
+    def test_parent_cache_in_lockstep(self, graph):
+        oracle = PathOracle(graph, max_cached_sources=2)
+        for s in range(5):
+            p = oracle.path(s, (s + 7) % graph.num_vertices)
+            assert p, "transit-stub graph is connected"
+        assert set(oracle._dist_cache) == set(oracle._parent_cache)
+        assert oracle.cached_sources <= 2
+
+    def test_bound_must_be_positive(self, graph):
+        with pytest.raises(ValueError):
+            PathOracle(graph, max_cached_sources=0)
+
+
+class TestBatchedOracle:
+    @pytest.fixture
+    def graph(self):
+        topo = generate_transit_stub(TransitStubParams(), RngStreams(5))
+        return topo.graph
+
+    def test_distances_many_matches_single(self, graph):
+        batched = PathOracle(graph)
+        single = PathOracle(graph)
+        sources = [0, 7, 23, 41]
+        rows = batched.distances_many(sources)
+        assert rows.shape == (len(sources), graph.num_vertices)
+        for i, s in enumerate(sources):
+            np.testing.assert_allclose(rows[i], single.distances_from(s))
+
+    def test_distances_many_one_batch_call(self, graph):
+        oracle = PathOracle(graph)
+        oracle.distances_many([0, 7, 23, 41])
+        assert oracle.batch_calls == 1
+        assert oracle.dijkstra_runs == 4
+
+    def test_distances_many_dedup_preserves_order(self, graph):
+        oracle = PathOracle(graph)
+        rows = oracle.distances_many([5, 2, 5, 2, 5])
+        assert rows.shape[0] == 5
+        assert oracle.dijkstra_runs == 2
+        np.testing.assert_allclose(rows[0], rows[2])
+        np.testing.assert_allclose(rows[1], rows[3])
+
+    def test_distances_many_reuses_cache(self, graph):
+        oracle = PathOracle(graph)
+        oracle.distances_from(7)
+        oracle.distances_many([7, 9])
+        assert oracle.dijkstra_runs == 2  # 7 was a hit, only 9 computed
+
+    def test_distances_many_empty(self, graph):
+        oracle = PathOracle(graph)
+        rows = oracle.distances_many([])
+        assert rows.shape == (0, graph.num_vertices)
+        assert oracle.dijkstra_runs == 0
+
+    def test_distances_many_pure_python(self, graph):
+        fast = PathOracle(graph, use_scipy=True)
+        slow = PathOracle(graph, use_scipy=False)
+        sources = [0, 7, 23]
+        np.testing.assert_allclose(
+            fast.distances_many(sources), slow.distances_many(sources)
+        )
+        assert slow.batch_calls == 0  # fallback loops over dijkstra_csr
+
+    def test_distances_many_valid_beyond_bound(self, graph):
+        """Rows are correct even when a bounded cache cannot hold them."""
+        oracle = PathOracle(graph, max_cached_sources=2)
+        reference = PathOracle(graph)
+        sources = list(range(6))
+        rows = oracle.distances_many(sources)
+        for i, s in enumerate(sources):
+            np.testing.assert_allclose(rows[i], reference.distances_from(s))
+        assert oracle.cached_sources == 2
+
+    def test_route_costs_matches_distance(self, graph):
+        batched = PathOracle(graph)
+        single = PathOracle(graph)
+        gen = RngStreams(3).stream("pairs")
+        n = graph.num_vertices
+        pairs = [
+            (int(gen.integers(n)), int(gen.integers(n))) for _ in range(200)
+        ]
+        costs = batched.route_costs(pairs)
+        expected = [single.distance(u, v) for u, v in pairs]
+        np.testing.assert_allclose(costs, expected)
+
+    def test_route_costs_empty(self, graph):
+        oracle = PathOracle(graph)
+        assert oracle.route_costs([]).shape == (0,)
+
+    def test_route_costs_same_endpoint_is_zero(self, graph):
+        oracle = PathOracle(graph)
+        assert oracle.route_costs([(4, 4)])[0] == 0.0
+
+    def test_prewarm_makes_sweep_all_hits(self, graph):
+        oracle = PathOracle(graph)
+        sources = [0, 3, 9, 12]
+        computed = oracle.prewarm(sources)
+        assert computed == len(sources)
+        before = oracle.cache_misses
+        for s in sources:
+            oracle.distance(s, 20)
+        assert oracle.cache_misses == before
+        assert oracle.prewarm(sources) == 0  # idempotent
+
+    def test_cache_stats_snapshot(self, graph):
+        oracle = PathOracle(graph)
+        stats = oracle.cache_stats()
+        assert stats["hit_rate"] != stats["hit_rate"]  # NaN before lookups
+        oracle.distance(0, 5)
+        oracle.distance(0, 9)
+        stats = oracle.cache_stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["dijkstra_runs"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+        oracle.reset_stats()
+        assert oracle.cache_stats()["misses"] == 0
+        assert oracle.cached_sources == 1  # rows survive a stats reset
+
+
+class TestBackendParity:
+    """Property check: the pure-Python and scipy backends agree on seeded
+    transit-stub graphs — identical distance vectors, equal-cost paths."""
+
+    @pytest.mark.parametrize("seed", [3, 11, 29])
+    def test_distance_vectors_identical(self, seed):
+        topo = generate_transit_stub(TransitStubParams(), RngStreams(seed))
+        g = topo.graph
+        fast = PathOracle(g, use_scipy=True)
+        slow = PathOracle(g, use_scipy=False)
+        sources = [0, 5, g.num_vertices // 2, g.num_vertices - 1]
+        np.testing.assert_allclose(
+            fast.distances_many(sources),
+            slow.distances_many(sources),
+        )
+
+    @pytest.mark.parametrize("seed", [3, 11, 29])
+    def test_paths_have_equal_cost(self, seed):
+        topo = generate_transit_stub(TransitStubParams(), RngStreams(seed))
+        g = topo.graph
+        fast = PathOracle(g, use_scipy=True)
+        slow = PathOracle(g, use_scipy=False)
+
+        def path_cost(p):
+            return sum(g.edge_weight(u, v) for u, v in zip(p, p[1:]))
+
+        for s in (0, 9):
+            for t in (1, g.num_vertices // 3, g.num_vertices - 1):
+                pf, ps = fast.path(s, t), slow.path(s, t)
+                assert (pf == []) == (ps == [])
+                if pf:
+                    assert pf[0] == ps[0] == s and pf[-1] == ps[-1] == t
+                    assert path_cost(pf) == pytest.approx(path_cost(ps))
+                    assert path_cost(pf) == pytest.approx(fast.distance(s, t))

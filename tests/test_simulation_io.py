@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.core import BristleConfig, LiveSimulation
+from repro.core import LiveSimulation
 from repro.experiments import (
     ResultTable,
     table_from_json,

@@ -1,11 +1,10 @@
 """Tests for repro.overlay.state — state-pairs and state tables."""
 
-import math
 
 import pytest
 
 from repro.net import NetworkAddress
-from repro.overlay import KeySpace, StatePair, StateTable
+from repro.overlay import StatePair, StateTable
 
 
 @pytest.fixture

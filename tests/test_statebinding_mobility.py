@@ -10,7 +10,6 @@ from repro.core import (
     MobilityProcess,
     shuffle_all_mobile,
 )
-from repro.sim import Engine
 
 
 @pytest.fixture

@@ -1,9 +1,8 @@
 """Tapestry-specific tests: surrogate-root ownership and digit bumping."""
 
-import numpy as np
 import pytest
 
-from repro.overlay import KeySpace, PastryOverlay, TapestryOverlay
+from repro.overlay import PastryOverlay, TapestryOverlay
 from repro.sim import RngStreams
 
 

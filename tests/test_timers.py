@@ -1,8 +1,7 @@
 """Tests for repro.sim.timers — leases and timer wheels."""
 
-import pytest
 
-from repro.sim import Engine, Lease, TimerWheel
+from repro.sim import Lease, TimerWheel
 
 
 class TestLease:
