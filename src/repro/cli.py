@@ -11,6 +11,12 @@ Commands
     Run the full evaluation report.
 ``demo``
     The quickstart scenario (build / move / route / discover).
+
+Telemetry flags (``run`` and ``all`` — see docs/observability.md):
+``--trace FILE`` streams every span/event as JSONL, ``--metrics FILE``
+writes the machine-readable run manifest (seed, config, phase wall-times,
+per-operation counters, cache stats), and ``--profile`` appends phase
+wall-clock footers to the printed tables.
 """
 
 from __future__ import annotations
@@ -19,7 +25,12 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .experiments.report import EXPERIMENTS, render_report, run_all
+from .experiments.report import (
+    EXPERIMENTS,
+    render_report,
+    resolve_experiment_name,
+    run_all,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -52,18 +63,41 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also draw ASCII charts for experiments with known series",
     )
+    _add_telemetry_flags(run_p)
 
     all_p = sub.add_parser("all", help="run the full evaluation")
     all_p.add_argument("--scale", choices=("quick", "default", "paper"), default="quick")
     all_p.add_argument("--out", default=None)
     all_p.add_argument("--precision", type=int, default=3)
     all_p.add_argument("--chart", action="store_true")
+    _add_telemetry_flags(all_p)
 
     audit_p = sub.add_parser("audit", help="verify every paper claim (PASS/FAIL)")
     audit_p.add_argument("--scale", choices=("quick", "default", "paper"), default="quick")
 
     sub.add_parser("demo", help="run the quickstart scenario")
     return parser
+
+
+def _add_telemetry_flags(sub_parser: argparse.ArgumentParser) -> None:
+    """Attach the shared observability flags to a subcommand parser."""
+    sub_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="stream protocol spans/events to FILE as JSONL",
+    )
+    sub_parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="write the machine-readable run manifest (JSON) to FILE",
+    )
+    sub_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="append phase wall-clock footers to the printed tables",
+    )
 
 
 def _cmd_list() -> int:
@@ -92,13 +126,38 @@ def _cmd_run(
     out: Optional[str],
     precision: int,
     chart: bool = False,
+    trace: Optional[str] = None,
+    metrics: Optional[str] = None,
+    profile: bool = False,
 ) -> int:
-    unknown = [n for n in names if n not in EXPERIMENTS]
+    import contextlib
+
+    resolved: List[str] = []
+    unknown: List[str] = []
+    for n in names:
+        try:
+            resolved.append(resolve_experiment_name(n))
+        except KeyError:
+            unknown.append(n)
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
-    tables = run_all(scale=scale, names=names)
+
+    telemetry = None
+    sink = None
+    session: "contextlib.AbstractContextManager" = contextlib.nullcontext()
+    if trace or metrics or profile:
+        from .sim.telemetry import Telemetry, telemetry_session
+        from .sim.trace import JsonlSink, Tracer
+
+        sink = JsonlSink(trace) if trace else None
+        tracer = Tracer(enabled=trace is not None, capacity=100_000, sink=sink)
+        telemetry = Telemetry(tracer=tracer, show_phase_footers=profile)
+        session = telemetry_session(telemetry)
+
+    with session:
+        tables = run_all(scale=scale, names=resolved)
     text = render_report(tables, precision=precision)
     if chart:
         from .experiments.plots import ascii_chart
@@ -115,6 +174,30 @@ def _cmd_run(
         with open(out, "w") as fh:
             fh.write(text + "\n")
         print(f"[written to {out}]")
+
+    if telemetry is not None:
+        from .experiments.io import manifest_path_for, write_manifest
+        from .experiments.manifest import build_manifest
+
+        if sink is not None:
+            sink.close()
+            print(f"[trace written to {trace} ({sink.written} records)]")
+        manifest = build_manifest(
+            experiments=resolved,
+            scale=scale,
+            telemetry=telemetry,
+            argv=sys.argv[1:],
+            trace_file=trace,
+        )
+        manifest_targets = [p for p in (metrics,) if p]
+        if out:
+            # Every saved result table carries its provenance next to it.
+            manifest_targets.append(manifest_path_for(out))
+        for target in manifest_targets:
+            write_manifest(manifest, target)
+            print(f"[manifest written to {target}]")
+        if profile:
+            print("[profile] " + telemetry.profiler.footer_line())
     return 0
 
 
@@ -147,11 +230,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(
-            args.names, args.scale, args.out, args.precision, args.chart
+            args.names, args.scale, args.out, args.precision, args.chart,
+            trace=args.trace, metrics=args.metrics, profile=args.profile,
         )
     if args.command == "all":
         return _cmd_run(
-            list(EXPERIMENTS), args.scale, args.out, args.precision, args.chart
+            list(EXPERIMENTS), args.scale, args.out, args.precision, args.chart,
+            trace=args.trace, metrics=args.metrics, profile=args.profile,
         )
     if args.command == "audit":
         from .experiments.audit import render_audit, run_audit

@@ -36,6 +36,7 @@ from ..overlay.base import Overlay
 from ..overlay.factory import make_overlay
 from ..overlay.keyspace import KeySpace
 from ..sim.rng import RngStreams
+from ..sim.telemetry import Telemetry, active_telemetry
 from .config import BristleConfig
 from .ldt import LDTMember, LDTree, build_ldt
 from .location import LocationDirectory, RegistrationManager
@@ -116,6 +117,7 @@ class BristleNetwork:
         capacities: Optional[Dict[int, float]] = None,
         max_capacity: int = 15,
         naming_scheme=None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if num_stationary < 2:
             raise ValueError("need at least two stationary nodes")
@@ -123,6 +125,11 @@ class BristleNetwork:
             raise ValueError("num_mobile must be non-negative")
         self.config = config
         self.rng = RngStreams(config.seed)
+        # Telemetry: an explicit bundle, else the ambient session (opened
+        # by the CLI's --trace/--metrics/--profile flags), else a private
+        # tracing-disabled bundle so call sites never need a None check.
+        tel = telemetry if telemetry is not None else active_telemetry()
+        self.telemetry = tel if tel is not None else Telemetry()
         self.space = KeySpace(bits=config.key_bits, digit_bits=config.digit_bits)
         self.num_stationary = num_stationary
         self.num_mobile = num_mobile
@@ -171,27 +178,34 @@ class BristleNetwork:
         # --- overlays -------------------------------------------------------
         proximity = self.network_distance_between_keys
         capacity_fn = lambda k: self.nodes[k].capacity  # noqa: E731
+        tracer = self.telemetry.tracer
         self.stationary_layer: Overlay = make_overlay(
             config.stationary_layer_overlay,
             self.space,
             proximity=None,  # stationary-layer tables are key-determined
             capacity=capacity_fn,
         )
-        self.stationary_layer.build(self.stationary_keys)
+        with tracer.span("overlay.build", layer="stationary", members=num_stationary):
+            self.stationary_layer.build(self.stationary_keys)
         self.mobile_layer: Overlay = make_overlay(
             config.mobile_layer_overlay,
             self.space,
             proximity=None,
             capacity=capacity_fn,
         )
-        self.mobile_layer.build(self.stationary_keys + self.mobile_keys)
+        with tracer.span(
+            "overlay.build", layer="mobile", members=num_stationary + num_mobile
+        ):
+            self.mobile_layer.build(self.stationary_keys + self.mobile_keys)
         self._proximity = proximity
 
         # --- location management ---------------------------------------------
         self.directory = LocationDirectory(
             self.space, self.stationary_layer, replication=config.replication
         )
-        self.registrations = RegistrationManager(self.nodes)
+        self.registrations = RegistrationManager(
+            self.nodes, metrics=self.telemetry.metrics
+        )
         #: discovery relays served per stationary holder — the Table-1
         #: "infrastructure load" counter (comparable to Type B's per-agent
         #: packet counts).
@@ -202,6 +216,16 @@ class BristleNetwork:
             self.directory.publish(
                 key, self.nodes[key].address, now=0.0, ttl=config.state_ttl
             )
+        # Provenance note for the run manifest (seed, sizes, config).
+        self.telemetry.note_network(
+            {
+                "seed": config.seed,
+                "num_stationary": num_stationary,
+                "num_mobile": num_mobile,
+                "naming": config.naming,
+                "config": dataclasses.asdict(config),
+            }
+        )
 
     # ------------------------------------------------------------------
     # Convenience queries
@@ -333,6 +357,12 @@ class BristleNetwork:
         node = self.nodes[key]
         if not node.mobile:
             raise ValueError(f"node {key} is stationary; only mobile nodes move")
+        tel = self.telemetry
+        sid = (
+            tel.tracer.span_begin(self.now, "op.update", key=key)
+            if tel.tracer.enabled
+            else 0
+        )
         new_addr = self.placement.move(key, router)
         node.address = new_addr
         node.moves += 1
@@ -352,13 +382,36 @@ class BristleNetwork:
         ldt: Optional[LDTree] = None
         if advertise and node.registry:
             ldt = self.build_ldt_for(key)
-        return MoveReport(
+        report = MoveReport(
             key=key,
             new_address=new_addr,
             publish_holders=publish_holders,
             publish_hops=publish_hops,
             ldt=ldt,
         )
+        m = tel.metrics
+        m.counter("op.update.count").inc()
+        m.counter("op.update.publish_messages").inc(len(publish_holders))
+        m.histogram("op.update.total_messages").observe(report.total_messages)
+        if ldt is not None:
+            m.histogram("op.update.ldt_messages").observe(report.ldt_messages)
+            m.histogram("op.update.ldt_depth").observe(report.ldt_depth)
+        if sid:
+            # Detailed accounting (tracing only — it costs oracle reads):
+            # underlay cost of pushing the update to every record holder.
+            publish_cost = sum(
+                self.network_distance_between_keys(key, h) for h in publish_holders
+            )
+            m.histogram("op.update.path_cost").observe(publish_cost)
+            tel.tracer.span_end(
+                self.now,
+                sid,
+                holders=len(publish_holders),
+                ldt_messages=report.ldt_messages,
+                total_messages=report.total_messages,
+                publish_cost=publish_cost,
+            )
+        return report
 
     def build_ldt_for(
         self, key: int, *, locality_tie_break: bool = False
@@ -378,9 +431,17 @@ class BristleNetwork:
         tie = None
         if locality_tie_break:
             tie = lambda m: self.network_distance_between_keys(key, m.key)  # noqa: E731
-        return build_ldt(
+        tree = build_ldt(
             root, members, unit_cost=self.config.unit_advertise_cost, tie_break=tie
         )
+        m = self.telemetry.metrics
+        m.counter("ldt.built").inc()
+        m.histogram("ldt.depth").observe(tree.depth)
+        m.histogram("ldt.messages").observe(tree.message_count)
+        m.histogram("ldt.fanout").observe_many(
+            len(n.children) for n in tree.nodes.values() if n.children
+        )
+        return tree
 
     # ------------------------------------------------------------------
     # Discovery (reactive state resolution, §2.3.2)
@@ -406,9 +467,25 @@ class BristleNetwork:
             addr = self.directory.resolve(target_key, now=self.now)
         hops = [from_key] if entry == from_key else [from_key, entry]
         hops.extend(stat_route.hops[1:])
-        return DiscoveryResult(
+        result = DiscoveryResult(
             target=target_key, hops=hops, address=addr, holder=holder
         )
+        m = self.telemetry.metrics
+        m.counter("op.discover.count").inc()
+        m.histogram("discovery.hops").observe(result.hop_count)
+        if addr is None:
+            m.counter("discovery.misses").inc()
+        if self.telemetry.tracer.enabled:
+            self.telemetry.tracer.emit(
+                self.now,
+                "discovery",
+                requester=from_key,
+                target=target_key,
+                holder=holder,
+                hops=result.hop_count,
+                found=result.found,
+            )
+        return result
 
     # ------------------------------------------------------------------
     # Join / leave (§2.3.3) — mobile-layer membership churn
@@ -420,6 +497,12 @@ class BristleNetwork:
         self.space.validate(key)
         if key in self.nodes:
             raise ValueError(f"key {key} already present")
+        tel = self.telemetry
+        sid = (
+            tel.tracer.span_begin(self.now, "op.join", key=key)
+            if tel.tracer.enabled
+            else 0
+        )
         node = BristleNode(key=key, mobile=True, capacity=capacity, space=self.space)
         node.address = self.placement.attach(key)
         self.nodes[key] = node
@@ -428,12 +511,20 @@ class BristleNetwork:
         self._mobile_set.add(key)
         self.num_mobile += 1
         self.mobile_layer.add_node(key)
+        tel.metrics.counter("overlay.mobile.add_node").inc()
         self.directory.publish(key, node.address, now=self.now, ttl=self.config.state_ttl)
         # Reciprocal registrations with the new neighbourhood (Fig 5).
+        issued = 0
         for nb in self.mobile_layer.neighbors_of(key):
             if self.is_mobile(nb):
                 self.registrations.register(key, nb, now=self.now)
+                issued += 1
             self.registrations.register(nb, key, now=self.now)
+            issued += 1
+        tel.metrics.counter("op.join.count").inc()
+        tel.metrics.histogram("op.join.registrations").observe(issued)
+        if sid:
+            tel.tracer.span_end(self.now, sid, registrations=issued)
         return node
 
     def leave_mobile_node(self, key: int) -> None:
@@ -442,7 +533,14 @@ class BristleNetwork:
         node = self.nodes.get(key)
         if node is None or not node.mobile:
             raise ValueError(f"{key} is not a mobile member")
+        tel = self.telemetry
+        sid = (
+            tel.tracer.span_begin(self.now, "op.leave", key=key)
+            if tel.tracer.enabled
+            else 0
+        )
         self.directory.withdraw(key)
+        withdrawn = len(node.subscriptions) + len(node.registry)
         for target in list(node.subscriptions):
             self.registrations.unregister(key, target)
         for registrant in list(node.registry):
@@ -453,6 +551,11 @@ class BristleNetwork:
         self._mobile_set.discard(key)
         self.num_mobile -= 1
         del self.nodes[key]
+        tel.metrics.counter("op.leave.count").inc()
+        tel.metrics.counter("overlay.mobile.remove_node").inc()
+        tel.metrics.histogram("op.leave.unregistrations").observe(withdrawn)
+        if sid:
+            tel.tracer.span_end(self.now, sid, unregistrations=withdrawn)
 
     def advance_time(self, dt: float) -> None:
         """Advance the lease clock (directory records age against it)."""

@@ -23,6 +23,7 @@ import numpy as np
 from ..net.address import NetworkAddress
 from ..overlay.base import Overlay
 from ..overlay.keyspace import KeySpace
+from ..sim.metrics import MetricsRegistry
 from .node import BristleNode, RegistryEntry
 
 __all__ = ["LocationRecord", "LocationDirectory", "RegistrationManager"]
@@ -163,8 +164,13 @@ class RegistrationManager:
     of expected size O((M/N)·log N)·(N/M) ... = O(log N) per mobile node.
     """
 
-    def __init__(self, nodes: Dict[int, BristleNode]) -> None:
+    def __init__(
+        self,
+        nodes: Dict[int, BristleNode],
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._nodes = nodes
+        self._metrics = metrics
         self.registration_count = 0
 
     def register(self, registrant: int, target: int, now: float = 0.0) -> None:
@@ -176,11 +182,15 @@ class RegistrationManager:
         )
         reg.subscriptions.add(target)
         self.registration_count += 1
+        if self._metrics is not None:
+            self._metrics.counter("op.register.count").inc()
 
     def unregister(self, registrant: int, target: int) -> None:
         """Withdraw ``registrant``'s interest in ``target``."""
         self._nodes[target].unregister(registrant)
         self._nodes[registrant].subscriptions.discard(target)
+        if self._metrics is not None:
+            self._metrics.counter("op.unregister.count").inc()
 
     def register_from_overlay(self, overlay: Overlay, *, mobile_only: bool = True) -> int:
         """Derive registrations from overlay state replication.

@@ -110,7 +110,11 @@ class BristleProtocol:
     latency_scale:
         Multiplier from underlay path weight to message latency.
     tracer:
-        Optional :class:`Tracer` receiving per-message records.
+        Optional :class:`Tracer` receiving per-message records; defaults
+        to the network telemetry's tracer (disabled outside a session).
+    metrics:
+        Optional registry; defaults to the network telemetry's registry so
+        protocol counters land in the same run manifest as everything else.
     """
 
     def __init__(
@@ -120,14 +124,20 @@ class BristleProtocol:
         *,
         latency_scale: float = 1.0,
         tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if latency_scale <= 0:
             raise ValueError("latency_scale must be positive")
         self.net = net
         self.engine = engine
         self.latency_scale = latency_scale
-        self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.metrics = MetricsRegistry()
+        if tracer is not None:
+            self.tracer = tracer
+        elif net.telemetry.tracer.enabled:
+            self.tracer = net.telemetry.tracer
+        else:
+            self.tracer = NULL_TRACER
+        self.metrics = metrics if metrics is not None else net.telemetry.metrics
 
     # ------------------------------------------------------------------
     # Message primitive
@@ -170,13 +180,27 @@ class BristleProtocol:
             expected=tree.num_members,
             on_complete=on_complete,
         )
+        span_id = (
+            self.tracer.span_begin(
+                self.engine.now,
+                "protocol.advertise",
+                root=mobile_key,
+                members=tree.num_members,
+            )
+            if self.tracer.enabled
+            else 0
+        )
         if tree.num_members == 0:
+            self.tracer.span_end(self.engine.now, span_id, makespan=0.0)
             if on_complete is not None:
                 on_complete(wave)
             return wave
 
         def forward(sender: int) -> None:
-            for child in tree.children_of(sender):
+            children = tree.children_of(sender)
+            if children:
+                self.metrics.histogram("ldt.multicast.fanout").observe(len(children))
+            for child in children:
                 self.send(
                     sender,
                     child,
@@ -214,6 +238,9 @@ class BristleProtocol:
             forward(node_key)
             if wave.complete:
                 self.metrics.histogram("advertise.makespan").observe(wave.makespan)
+                self.tracer.span_end(
+                    self.engine.now, span_id, makespan=wave.makespan
+                )
                 if wave.on_complete is not None:
                     wave.on_complete(wave)
 
@@ -241,6 +268,16 @@ class BristleProtocol:
             started_at=self.engine.now,
             on_complete=on_complete,
         )
+        span_id = (
+            self.tracer.span_begin(
+                self.engine.now,
+                "protocol.discover",
+                requester=requester,
+                target=target,
+            )
+            if self.tracer.enabled
+            else 0
+        )
         entry = (
             requester
             if not self.net.is_mobile(requester)
@@ -266,6 +303,13 @@ class BristleProtocol:
                     "discovered",
                     requester=requester,
                     target=target,
+                    found=addr is not None,
+                )
+                self.tracer.span_end(
+                    self.engine.now,
+                    span_id,
+                    rtt=exchange.rtt,
+                    hops=exchange.query_hops,
                     found=addr is not None,
                 )
                 if exchange.on_complete is not None:

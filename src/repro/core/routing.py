@@ -25,6 +25,47 @@ from .bristle import BristleNetwork
 __all__ = ["HopRecord", "RouteTrace", "route_with_resolution"]
 
 
+def _record_route_telemetry(
+    net: BristleNetwork, trace: "RouteTrace", span_id: int
+) -> "RouteTrace":
+    """Account one finished route in the network's telemetry.
+
+    Per-route histograms (``route.app_hops``, ``route.path_cost``,
+    ``route.resolutions``) always record — cheap O(1) appends; the
+    discovery-detour breakdown (``discovery.detour_cost`` /
+    ``discovery.detour_hops``, the stationary-layer share of the route)
+    records whenever resolutions happened.  When a span is open it is
+    closed with the route's aggregates.
+    """
+    m = net.telemetry.metrics
+    path_cost = trace.path_cost
+    m.counter("route.count").inc()
+    m.histogram("route.app_hops").observe(trace.app_hops)
+    m.histogram("route.path_cost").observe(path_cost)
+    m.histogram("route.resolutions").observe(trace.resolutions)
+    if not trace.success:
+        m.counter("route.failures").inc()
+    if trace.resolutions:
+        detour_cost = 0.0
+        detour_hops = 0
+        for r in trace.records:
+            if r.kind != "direct":
+                detour_cost += r.cost
+                detour_hops += 1
+        m.histogram("discovery.detour_cost").observe(detour_cost)
+        m.histogram("discovery.detour_hops").observe(detour_hops)
+    if span_id:
+        net.telemetry.tracer.span_end(
+            net.now,
+            span_id,
+            hops=trace.app_hops,
+            cost=path_cost,
+            resolutions=trace.resolutions,
+            success=trace.success,
+        )
+    return trace
+
+
 @dataclasses.dataclass(frozen=True)
 class HopRecord:
     """One application-level hop of a routed packet.
@@ -99,6 +140,12 @@ def route_with_resolution(
     """
     if p_stale is None:
         p_stale = net.config.p_stale
+    tracer = net.telemetry.tracer
+    span_id = (
+        tracer.span_begin(net.now, "route", src=source, target=target_key)
+        if tracer.enabled
+        else 0
+    )
     overlay_route = net.mobile_layer.route(source, target_key)
     records: List[HopRecord] = []
     resolutions = 0
@@ -136,13 +183,26 @@ def route_with_resolution(
         records.append(
             HopRecord(src=holder, dst=b, kind="deliver", cost=dist(holder, b))
         )
+        if tracer.enabled:
+            tracer.emit(
+                net.now,
+                "discovery.detour",
+                at=a,
+                next_hop=b,
+                holder=holder,
+                stationary_hops=len(stat_route.hops) - 1,
+            )
 
-    return RouteTrace(
-        source=source,
-        target=target_key,
-        records=records,
-        resolutions=resolutions,
-        success=overlay_route.success,
+    return _record_route_telemetry(
+        net,
+        RouteTrace(
+            source=source,
+            target=target_key,
+            records=records,
+            resolutions=resolutions,
+            success=overlay_route.success,
+        ),
+        span_id,
     )
 
 
@@ -169,6 +229,14 @@ def route_preferring_resolved(
     """
     if p_stale is None:
         p_stale = net.config.p_stale
+    tracer = net.telemetry.tracer
+    span_id = (
+        tracer.span_begin(
+            net.now, "route", src=source, target=target_key, policy="prefer_resolved"
+        )
+        if tracer.enabled
+        else 0
+    )
     overlay = net.mobile_layer
     owner = overlay.owner_of(target_key)
     dist = net.network_distance_between_keys
@@ -225,6 +293,15 @@ def route_preferring_resolved(
                     cost=dist(stat_route.terminus, nxt),
                 )
             )
+            if tracer.enabled:
+                tracer.emit(
+                    net.now,
+                    "discovery.detour",
+                    at=current,
+                    next_hop=nxt,
+                    holder=stat_route.terminus,
+                    stationary_hops=len(stat_route.hops) - 1,
+                )
         else:
             records.append(
                 HopRecord(src=current, dst=nxt, kind="direct", cost=dist(current, nxt))
@@ -233,12 +310,16 @@ def route_preferring_resolved(
         current = nxt
         if len(seen) > overlay.MAX_ROUTE_HOPS:
             break
-    return RouteTrace(
-        source=source,
-        target=target_key,
-        records=records,
-        resolutions=resolutions,
-        success=current == owner,
+    return _record_route_telemetry(
+        net,
+        RouteTrace(
+            source=source,
+            target=target_key,
+            records=records,
+            resolutions=resolutions,
+            success=current == owner,
+        ),
+        span_id,
     )
 
 

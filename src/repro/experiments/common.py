@@ -1,16 +1,62 @@
-"""Shared experiment infrastructure: result tables and text rendering.
+"""Shared experiment infrastructure: result tables, text rendering, and
+the drivers' hooks into the active telemetry session.
 
 Every experiment returns a :class:`ResultTable` — named columns plus rows —
 which the benchmark harness prints in the same shape as the paper's
 figures/tables, and which tests assert against.
+
+Telemetry rides along ambiently: drivers call :func:`driver_profiler` to
+time their build/warmup/route phases (a no-op profiler outside a session)
+and :func:`maybe_add_phase_footer` to report those wall-times under the
+table when the CLI ran with ``--profile`` — no experiment signature ever
+grows a telemetry parameter.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Mapping
+from typing import Any, Dict, Iterable, List, Mapping, Optional
 
-__all__ = ["ResultTable", "format_float"]
+from ..sim.profile import PhaseProfiler
+from ..sim.telemetry import active_telemetry
+
+__all__ = [
+    "ResultTable",
+    "format_float",
+    "driver_profiler",
+    "maybe_add_phase_footer",
+]
+
+#: Shared disabled profiler handed to drivers outside a telemetry session
+#: (``phase`` blocks cost one attribute check).
+_NULL_PROFILER = PhaseProfiler(enabled=False)
+
+
+def driver_profiler() -> PhaseProfiler:
+    """The active session's phase profiler, or a shared disabled one.
+
+    Drivers wrap their stages unconditionally::
+
+        prof = driver_profiler()
+        with prof.phase("build"):
+            net = BristleNetwork(...)
+    """
+    tel = active_telemetry()
+    return tel.profiler if tel is not None else _NULL_PROFILER
+
+
+def maybe_add_phase_footer(
+    table: "ResultTable", phases: Optional[Iterable[str]] = None
+) -> None:
+    """Append the session's phase wall-times as a table footer.
+
+    Only acts when a telemetry session is active *and* asked for footers
+    (the CLI's ``--profile``); silent otherwise so drivers call it
+    unconditionally.
+    """
+    tel = active_telemetry()
+    if tel is not None and tel.show_phase_footers:
+        table.add_footer(tel.profiler.footer_line(phases))
 
 
 def format_float(x: Any, precision: int = 3) -> str:

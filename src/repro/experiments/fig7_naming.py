@@ -21,8 +21,10 @@ from ..core.bristle import BristleNetwork
 from ..core.config import BristleConfig
 from ..core.mobility import shuffle_all_mobile
 from ..core.routing import route_preferring_resolved, route_with_resolution
+from ..sim.metrics import record_cache_stats
+from ..sim.telemetry import active_telemetry
 from ..workloads.routes import sample_stationary_pairs
-from .common import ResultTable
+from .common import ResultTable, driver_profiler, maybe_add_phase_footer
 
 __all__ = ["Fig7Params", "measure_naming_scheme", "run_fig7"]
 
@@ -73,12 +75,15 @@ def measure_naming_scheme(
     per-hop distance reads hit a batch-computed cache; the oracle's
     counters ride along under ``"cache_stats"``.
     """
+    prof = driver_profiler()
     cfg = BristleConfig(seed=seed, naming=naming, p_stale=1.0)
-    net = BristleNetwork(
-        cfg, num_stationary, num_mobile, router_count=router_count
-    )
-    shuffle_all_mobile(net)
-    net.prewarm_oracle()  # one batched Dijkstra over the post-move routers
+    with prof.phase("build"):
+        net = BristleNetwork(
+            cfg, num_stationary, num_mobile, router_count=router_count
+        )
+        shuffle_all_mobile(net)
+    with prof.phase("warmup"):
+        net.prewarm_oracle()  # one batched Dijkstra over the post-move routers
     route_fn = (
         route_preferring_resolved if routing_policy == "prefer_resolved" else route_with_resolution
     )
@@ -86,11 +91,12 @@ def measure_naming_scheme(
     hops = np.empty(len(pairs), dtype=np.float64)
     costs = np.empty(len(pairs), dtype=np.float64)
     resolutions = np.empty(len(pairs), dtype=np.float64)
-    for i, (s, t) in enumerate(pairs):
-        trace = route_fn(net, s, t)
-        hops[i] = trace.app_hops
-        costs[i] = trace.path_cost
-        resolutions[i] = trace.resolutions
+    with prof.phase("route"):
+        for i, (s, t) in enumerate(pairs):
+            trace = route_fn(net, s, t)
+            hops[i] = trace.app_hops
+            costs[i] = trace.path_cost
+            resolutions[i] = trace.resolutions
     return {
         "hops": float(hops.mean()),
         "cost": float(costs.mean()),
@@ -162,4 +168,10 @@ def run_fig7(params: Optional[Fig7Params] = None) -> ResultTable:
         cache_totals["hits"] / lookups if lookups else float("nan")
     )
     table.add_cache_footer(cache_totals, label="oracle cache (all points)")
+    tel = active_telemetry()
+    if tel is not None:
+        # Mirror the sweep-wide cache totals into the session registry so
+        # the run manifest's cache_stats section covers this experiment.
+        record_cache_stats(tel.metrics, cache_totals, ratios=("hit_rate",))
+    maybe_add_phase_footer(table, ("build", "warmup", "route"))
     return table

@@ -20,7 +20,9 @@ import numpy as np
 
 from ..core.bristle import BristleNetwork
 from ..core.config import BristleConfig
-from .common import ResultTable
+from ..sim.metrics import record_cache_stats
+from ..sim.telemetry import active_telemetry
+from .common import ResultTable, driver_profiler, maybe_add_phase_footer
 
 __all__ = ["Fig9Params", "measure_ldt_costs", "run_fig9"]
 
@@ -64,6 +66,7 @@ def measure_ldt_costs(
     network-closest candidates (§4.3's steady state after periodic
     re-joins) versus uniformly random registrants.
     """
+    prof = driver_profiler()
     mobile = list(net.mobile_keys)
     if trees_sampled is not None and trees_sampled < len(mobile):
         mobile = net.rng.sample("fig9.trees", mobile, trees_sampled)
@@ -71,21 +74,23 @@ def measure_ldt_costs(
     # membership are the exact oracle source set this sweep can touch —
     # batch-compute them once, then registration setup and edge costs are
     # pure cache gathers.
-    net.prewarm_oracle()
-    if with_locality:
-        net.setup_local_registrations(only_keys=mobile)
-    else:
-        net.setup_random_registrations(only_keys=mobile)
+    with prof.phase("warmup"):
+        net.prewarm_oracle()
+        if with_locality:
+            net.setup_local_registrations(only_keys=mobile)
+        else:
+            net.setup_random_registrations(only_keys=mobile)
     per_tree_means: List[float] = []
     total_edges = 0
-    for mk in mobile:
-        if not net.nodes[mk].registry:
-            continue
-        tree = net.build_ldt_for(mk, locality_tie_break=with_locality)
-        costs = net.route_costs_between_keys(tree.edges)
-        if costs.size:
-            per_tree_means.append(float(np.mean(costs)))
-            total_edges += int(costs.size)
+    with prof.phase("measure"):
+        for mk in mobile:
+            if not net.nodes[mk].registry:
+                continue
+            tree = net.build_ldt_for(mk, locality_tie_break=with_locality)
+            costs = net.route_costs_between_keys(tree.edges)
+            if costs.size:
+                per_tree_means.append(float(np.mean(costs)))
+                total_edges += int(costs.size)
     return {
         "per_tree_per_edge_cost": float(np.mean(per_tree_means)) if per_tree_means else math.nan,
         "trees": float(len(per_tree_means)),
@@ -126,23 +131,26 @@ def run_fig9(params: Optional[Fig9Params] = None) -> ResultTable:
         if num_mobile < 1:
             continue
         base_cfg = dict(seed=p.seed, naming="scrambled")
+        prof = driver_profiler()
         # Two fresh networks with identical seeds → identical topology,
         # keys and placement; only the registration strategy differs.
-        net_loc = BristleNetwork(
-            BristleConfig(**base_cfg),
-            num_stationary,
-            num_mobile,
-            router_count=p.router_count,
-            max_capacity=p.max_capacity,
-        )
+        with prof.phase("build"):
+            net_loc = BristleNetwork(
+                BristleConfig(**base_cfg),
+                num_stationary,
+                num_mobile,
+                router_count=p.router_count,
+                max_capacity=p.max_capacity,
+            )
         loc = measure_ldt_costs(net_loc, with_locality=True, trees_sampled=p.trees_sampled)
-        net_rand = BristleNetwork(
-            BristleConfig(**base_cfg),
-            num_stationary,
-            num_mobile,
-            router_count=p.router_count,
-            max_capacity=p.max_capacity,
-        )
+        with prof.phase("build"):
+            net_rand = BristleNetwork(
+                BristleConfig(**base_cfg),
+                num_stationary,
+                num_mobile,
+                router_count=p.router_count,
+                max_capacity=p.max_capacity,
+            )
         rand = measure_ldt_costs(net_rand, with_locality=False, trees_sampled=p.trees_sampled)
         for stats in (loc["cache_stats"], rand["cache_stats"]):
             for k in cache_totals:
@@ -164,4 +172,8 @@ def run_fig9(params: Optional[Fig9Params] = None) -> ResultTable:
         cache_totals["hits"] / lookups if lookups else float("nan")
     )
     table.add_cache_footer(cache_totals, label="oracle cache (all points)")
+    tel = active_telemetry()
+    if tel is not None:
+        record_cache_stats(tel.metrics, cache_totals, ratios=("hit_rate",))
+    maybe_add_phase_footer(table, ("build", "warmup", "measure"))
     return table

@@ -1,8 +1,10 @@
-"""Result-table serialization: CSV and JSON round-trips.
+"""Result-table and run-manifest serialization: CSV and JSON round-trips.
 
 The benchmark harness stores rendered text; downstream analysis usually
 wants machine-readable series.  These helpers keep the dependency
-footprint at the standard library.
+footprint at the standard library.  Run manifests (see
+:mod:`repro.experiments.manifest`) are written here too, so every saved
+result table can carry its provenance JSON next to it.
 """
 
 from __future__ import annotations
@@ -10,11 +12,20 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Any, Dict
+import os
+from typing import Any, Dict, Mapping
 
 from .common import ResultTable
+from .manifest import validate_manifest
 
-__all__ = ["table_to_csv", "table_to_json", "table_from_json", "write_table"]
+__all__ = [
+    "table_to_csv",
+    "table_to_json",
+    "table_from_json",
+    "write_table",
+    "write_manifest",
+    "manifest_path_for",
+]
 
 
 def table_to_csv(table: ResultTable) -> str:
@@ -85,3 +96,25 @@ def write_table(table: ResultTable, path: str, fmt: str = "auto") -> None:
         raise ValueError(f"unknown format {fmt!r} (txt/csv/json)")
     with open(path, "w") as fh:
         fh.write(text)
+
+
+def manifest_path_for(table_path: str) -> str:
+    """The manifest filename conventionally paired with a result file.
+
+    ``results/fig7.txt`` → ``results/fig7.manifest.json`` — next to the
+    table, unambiguous, and never colliding with a ``.json`` table dump.
+    """
+    root, _ = os.path.splitext(table_path)
+    return root + ".manifest.json"
+
+
+def write_manifest(payload: Mapping[str, Any], path: str) -> None:
+    """Validate and write a run manifest as strict JSON.
+
+    Raises :class:`repro.experiments.manifest.ManifestError` instead of
+    writing an artifact that downstream schema checks would reject.
+    """
+    validate_manifest(dict(payload))
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, allow_nan=False, default=_jsonify)
+        fh.write("\n")

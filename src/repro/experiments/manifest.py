@@ -1,0 +1,173 @@
+"""Machine-readable run manifests: what ran, with what, and where time went.
+
+Every ``repro run`` can emit one JSON manifest describing the run as a
+reproducible artifact: which experiments ran at which scale, the seed and
+full config of every network built, the git revision, per-phase wall-clock
+times, per-operation counters (``op.*``), oracle cache statistics, and the
+complete metrics snapshot.  Downstream tooling (CI schema checks, result
+archives, regression dashboards) consumes the manifest instead of parsing
+printed tables.
+
+The schema is validated by :func:`validate_manifest` — a hand-rolled
+required-keys/type check so the dependency footprint stays at the
+standard library.
+"""
+
+from __future__ import annotations
+
+import math
+import platform
+import subprocess
+from datetime import datetime, timezone
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence
+
+from ..sim.telemetry import Telemetry
+
+__all__ = [
+    "MANIFEST_KIND",
+    "MANIFEST_SCHEMA_VERSION",
+    "ManifestError",
+    "build_manifest",
+    "validate_manifest",
+    "git_revision",
+]
+
+#: Discriminator so tooling can reject unrelated JSON files early.
+MANIFEST_KIND = "repro-run-manifest"
+
+#: Bumped on incompatible manifest layout changes.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+class ManifestError(ValueError):
+    """A manifest failed schema validation; ``str()`` lists every problem."""
+
+
+def git_revision() -> Optional[str]:
+    """The repository's current commit hash, or ``None`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def _finite(value: float) -> Optional[float]:
+    """NaN/inf → ``None`` so the manifest stays strict JSON."""
+    v = float(value)
+    return v if math.isfinite(v) else None
+
+
+def build_manifest(
+    *,
+    experiments: Sequence[str],
+    scale: str,
+    telemetry: Telemetry,
+    argv: Optional[Iterable[str]] = None,
+    trace_file: Optional[str] = None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the manifest for one finished run.
+
+    Seed and config come from the first network the session built (the
+    ``networks`` list keeps every build, so multi-network sweeps lose
+    nothing); counters prefixed ``op.`` surface as ``operation_counters``
+    and ``oracle.*`` snapshot entries as ``cache_stats``.  All metric
+    values are sanitised to finite-or-null so the output is strict JSON.
+    """
+    snapshot = {k: _finite(v) for k, v in telemetry.metrics.snapshot().items()}
+    counters = {
+        name: int(c.value) for name, c in telemetry.metrics.counters.items()
+    }
+    networks = [dict(n) for n in telemetry.networks]
+    payload: Dict[str, Any] = {
+        "kind": MANIFEST_KIND,
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "experiments": list(experiments),
+        "scale": scale,
+        "seed": networks[0]["seed"] if networks else None,
+        "config": networks[0].get("config") if networks else None,
+        "networks": networks,
+        "network_count": telemetry.network_count,
+        "git_rev": git_revision(),
+        "python": platform.python_version(),
+        "argv": list(argv) if argv is not None else None,
+        "trace_file": trace_file,
+        "phase_wall_times": {
+            k: round(v, 6) for k, v in telemetry.profiler.wall_times().items()
+        },
+        "operation_counters": {
+            k: v for k, v in counters.items() if k.startswith("op.")
+        },
+        "cache_stats": {
+            k[len("oracle."):]: v
+            for k, v in snapshot.items()
+            if k.startswith("oracle.")
+        },
+        "metrics": snapshot,
+    }
+    if extra:
+        payload.update(dict(extra))
+    return payload
+
+
+def _type_name(value: Any) -> str:
+    return type(value).__name__
+
+
+def validate_manifest(payload: Any) -> Dict[str, Any]:
+    """Check a manifest against the schema; returns it when valid.
+
+    Raises :class:`ManifestError` listing *every* violation (not just the
+    first) so CI logs point at all problems at once.
+    """
+    problems = []
+    if not isinstance(payload, dict):
+        raise ManifestError(f"manifest must be a JSON object, got {_type_name(payload)}")
+    if payload.get("kind") != MANIFEST_KIND:
+        problems.append(f"kind must be {MANIFEST_KIND!r}, got {payload.get('kind')!r}")
+    version = payload.get("schema_version")
+    if not isinstance(version, int) or version < 1:
+        problems.append(f"schema_version must be a positive int, got {version!r}")
+    exps = payload.get("experiments")
+    if (
+        not isinstance(exps, list)
+        or not exps
+        or not all(isinstance(e, str) for e in exps)
+    ):
+        problems.append("experiments must be a non-empty list of strings")
+    if not isinstance(payload.get("scale"), str):
+        problems.append("scale must be a string")
+    if "seed" not in payload:
+        problems.append("seed is required (int or null)")
+    elif payload["seed"] is not None and not isinstance(payload["seed"], int):
+        problems.append(f"seed must be int or null, got {_type_name(payload['seed'])}")
+    if "config" not in payload:
+        problems.append("config is required (object or null)")
+    elif payload["config"] is not None and not isinstance(payload["config"], dict):
+        problems.append("config must be an object or null")
+    for field in ("phase_wall_times", "operation_counters", "cache_stats", "metrics"):
+        mapping = payload.get(field)
+        if not isinstance(mapping, dict):
+            problems.append(f"{field} must be an object")
+            continue
+        for k, v in mapping.items():
+            if not isinstance(k, str):
+                problems.append(f"{field} key {k!r} is not a string")
+            if v is not None and not isinstance(v, (int, float)):
+                problems.append(f"{field}[{k!r}] must be numeric or null, got {_type_name(v)}")
+            if isinstance(v, float) and not math.isfinite(v):
+                problems.append(f"{field}[{k!r}] must be finite or null")
+    if "created_utc" in payload and not isinstance(payload["created_utc"], str):
+        problems.append("created_utc must be an ISO-8601 string")
+    if problems:
+        raise ManifestError("; ".join(problems))
+    return payload

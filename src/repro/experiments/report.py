@@ -27,8 +27,15 @@ from .fig7_naming import Fig7Params, run_fig7
 from .fig8_ldt import Fig8Params, run_fig8a, run_fig8b, run_fig8_workload
 from .fig9_locality import Fig9Params, run_fig9
 from .table1_comparison import Table1Params, run_table1
+from ..sim.telemetry import active_telemetry
 
-__all__ = ["EXPERIMENTS", "run_all", "run_one", "render_report"]
+__all__ = [
+    "EXPERIMENTS",
+    "resolve_experiment_name",
+    "run_all",
+    "run_one",
+    "render_report",
+]
 
 
 def _fig7(scale: str) -> ResultTable:
@@ -154,24 +161,64 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[str], ResultTable]]] = {
 }
 
 
+#: Driver-module spellings accepted as experiment names (``repro run
+#: fig7_naming`` works like ``repro run fig7``).
+NAME_ALIASES: Dict[str, str] = {
+    "fig3_responsibility": "fig3",
+    "fig7_naming": "fig7",
+    "fig8_ldt": "fig8a",
+    "fig9_locality": "fig9",
+    "table1_comparison": "table1",
+}
+
+
+def resolve_experiment_name(name: str) -> str:
+    """Canonical experiment name for ``name`` (KeyError when unknown).
+
+    Accepts the registry key itself (``fig7``), underscore spellings of
+    hyphenated keys (``ext_staleness`` → ``ext-staleness``) and the
+    driver-module aliases of :data:`NAME_ALIASES`.
+    """
+    if name in EXPERIMENTS:
+        return name
+    dashed = name.replace("_", "-")
+    if dashed in EXPERIMENTS:
+        return dashed
+    if name in NAME_ALIASES:
+        return NAME_ALIASES[name]
+    raise KeyError(
+        f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+    )
+
+
 def run_one(name: str, scale: str = "default") -> ResultTable:
-    """Run a single named experiment (see :data:`EXPERIMENTS`)."""
+    """Run a single named experiment (see :data:`EXPERIMENTS`).
+
+    Inside a telemetry session the run is wrapped in an
+    ``experiment:<name>`` profiler phase and an ``experiment`` span, so
+    the manifest records where each experiment's wall-clock went.
+    """
     if scale not in ("quick", "default", "paper"):
         raise ValueError(f"scale must be quick/default/paper, got {scale!r}")
-    try:
-        _, runner = EXPERIMENTS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
-        ) from None
-    return runner(scale)
+    name = resolve_experiment_name(name)
+    _, runner = EXPERIMENTS[name]
+    tel = active_telemetry()
+    if tel is None:
+        return runner(scale)
+    with tel.profiler.phase(f"experiment:{name}"):
+        with tel.tracer.span("experiment", experiment=name, scale=scale):
+            return runner(scale)
 
 
 def run_all(
     scale: str = "default", names: Optional[List[str]] = None
 ) -> Dict[str, ResultTable]:
     """Run every (or the named) experiments; returns name → table."""
-    selected = names if names is not None else list(EXPERIMENTS)
+    selected = (
+        [resolve_experiment_name(n) for n in names]
+        if names is not None
+        else list(EXPERIMENTS)
+    )
     return {name: run_one(name, scale) for name in selected}
 
 

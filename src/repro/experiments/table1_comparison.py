@@ -31,7 +31,7 @@ import numpy as np
 
 from ..core.routing import route_with_resolution
 from ..workloads.scenarios import ComparisonScenario, build_comparison_scenario
-from .common import ResultTable
+from .common import ResultTable, driver_profiler, maybe_add_phase_footer
 
 __all__ = ["Table1Params", "run_table1"]
 
@@ -180,18 +180,21 @@ def run_table1(params: Optional[Table1Params] = None) -> ResultTable:
     # between them; the seed pins an identical world.
     from ..core.config import BristleConfig
 
+    prof = driver_profiler()
     for name, fn in (
         ("Type A", _type_a_metrics),
         ("Type B", _type_b_metrics),
         ("Bristle", _bristle_metrics),
     ):
-        scenario = build_comparison_scenario(
-            p.num_stationary,
-            p.num_mobile,
-            seed=p.seed,
-            config=BristleConfig(seed=p.seed, naming=p.naming),
-        )
-        metrics_by_type[name] = fn(scenario, p)
+        with prof.phase("build"):
+            scenario = build_comparison_scenario(
+                p.num_stationary,
+                p.num_mobile,
+                seed=p.seed,
+                config=BristleConfig(seed=p.seed, naming=p.naming),
+            )
+        with prof.phase("measure"):
+            metrics_by_type[name] = fn(scenario, p)
 
     table = ResultTable(
         title="Table 1 — design choices, measured",
@@ -222,4 +225,5 @@ def run_table1(params: Optional[Table1Params] = None) -> ResultTable:
                 "max infra load": m["max_infra_load"],
             }
         )
+    maybe_add_phase_footer(table, ("build", "measure"))
     return table

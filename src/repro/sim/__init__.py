@@ -17,9 +17,11 @@ from .metrics import (
     record_cache_stats,
     summarize,
 )
+from .profile import PhaseProfiler
 from .rng import RngStreams, derive_seed
+from .telemetry import Telemetry, active_telemetry, telemetry_session
 from .timers import Lease, TimerWheel
-from .trace import NULL_TRACER, TraceRecord, Tracer
+from .trace import NULL_TRACER, JsonlSink, Span, TraceRecord, Tracer, read_jsonl
 
 __all__ = [
     "Engine",
@@ -34,11 +36,18 @@ __all__ = [
     "Summary",
     "TimeSeries",
     "summarize",
+    "PhaseProfiler",
     "RngStreams",
     "derive_seed",
+    "Telemetry",
+    "active_telemetry",
+    "telemetry_session",
     "Lease",
     "TimerWheel",
     "NULL_TRACER",
+    "JsonlSink",
+    "Span",
     "TraceRecord",
     "Tracer",
+    "read_jsonl",
 ]

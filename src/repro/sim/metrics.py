@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Collection, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -21,6 +21,7 @@ __all__ = [
     "Histogram",
     "TimeSeries",
     "MetricsRegistry",
+    "RATIO_SUFFIXES",
     "record_cache_stats",
     "summarize",
 ]
@@ -176,14 +177,26 @@ class MetricsRegistry:
     def histograms(self) -> Mapping[str, Histogram]:
         return self._histograms
 
+    @property
+    def series_map(self) -> Mapping[str, TimeSeries]:
+        return self._series
+
     def snapshot(self) -> Dict[str, float]:
-        """Flat {name: value} view: counter values and histogram means."""
+        """Flat {name: value} view of every accumulator.
+
+        Counters contribute their value, histograms ``<name>.mean`` and
+        ``<name>.count``, and time series ``<name>.last`` (NaN when empty)
+        and ``<name>.count`` — no accumulator kind is silently omitted.
+        """
         out: Dict[str, float] = {}
         for name, c in self._counters.items():
             out[name] = float(c.value)
         for name, h in self._histograms.items():
             out[name + ".mean"] = h.mean()
             out[name + ".count"] = float(len(h))
+        for name, s in self._series.items():
+            out[name + ".last"] = s.last()[1] if len(s) else math.nan
+            out[name + ".count"] = float(len(s))
         return out
 
     def reset(self) -> None:
@@ -195,10 +208,17 @@ class MetricsRegistry:
         self._series.clear()
 
 
+#: Name suffixes treated as ratio-valued by default: these stats stay
+#: histograms even when their value happens to be a whole number (a
+#: ``hit_rate`` of exactly 0.0 or 1.0 must not turn into a counter).
+RATIO_SUFFIXES: Tuple[str, ...] = ("rate", "ratio", "fraction")
+
+
 def record_cache_stats(
     registry: MetricsRegistry,
     stats: Mapping[str, float],
     prefix: str = "oracle",
+    ratios: Optional[Collection[str]] = None,
 ) -> None:
     """Mirror a :meth:`PathOracle.cache_stats` snapshot into ``registry``.
 
@@ -208,12 +228,23 @@ def record_cache_stats(
     snapshots aggregate sensibly (``<prefix>.hit_rate.mean`` in
     :meth:`MetricsRegistry.snapshot`).  NaN ratios (no lookups yet) are
     skipped.
+
+    The counter/histogram split is explicit: a stat is ratio-valued when
+    its *name* says so — it is listed in ``ratios``, or (when ``ratios``
+    is ``None``) it ends with one of :data:`RATIO_SUFFIXES` — so a
+    ``hit_rate`` of exactly 0.0 or 1.0 still lands in the histogram.
+    Any stat with a fractional value is also kept as a histogram, since
+    counters are integer-valued.
     """
     for name, value in stats.items():
         v = float(value)
         if math.isnan(v):
             continue
-        if v != int(v) or name.endswith("rate"):
+        if ratios is not None:
+            is_ratio = name in ratios
+        else:
+            is_ratio = name.endswith(RATIO_SUFFIXES)
+        if is_ratio or v != int(v):
             registry.histogram(f"{prefix}.{name}").observe(v)
         else:
             registry.counter(f"{prefix}.{name}").set(int(v))

@@ -1,0 +1,106 @@
+"""Run-wide telemetry: tracer + metrics + profiler, with an ambient session.
+
+A :class:`Telemetry` bundles the three observability primitives one run
+needs — a :class:`~repro.sim.trace.Tracer` (spans/events, optionally
+streamed to JSONL), a :class:`~repro.sim.metrics.MetricsRegistry`
+(per-operation counters and histograms) and a
+:class:`~repro.sim.profile.PhaseProfiler` (wall-clock phase accounting).
+
+The CLI opens a :func:`telemetry_session` around ``repro run``;
+:class:`~repro.core.bristle.BristleNetwork` and the experiment drivers
+pick the active session up via :func:`active_telemetry`, so **every**
+driver gets tracing, metrics and a run manifest for free — no experiment
+signature had to grow a telemetry parameter.  Outside a session each
+network falls back to a private, tracing-disabled :class:`Telemetry`, so
+instrumentation call sites never need a ``None`` check and tests can read
+``net.telemetry.metrics`` directly.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+from .metrics import MetricsRegistry
+from .profile import PhaseProfiler
+from .trace import Tracer
+
+__all__ = ["Telemetry", "active_telemetry", "telemetry_session"]
+
+#: Cap on per-network build records kept in a session (memory bound for
+#: sweeps that construct hundreds of networks).
+MAX_NETWORK_NOTES = 256
+
+
+class Telemetry:
+    """One run's observability bundle.
+
+    Parameters
+    ----------
+    tracer:
+        Span/event tracer; defaults to a disabled one (the near-free path).
+    metrics:
+        Counter/histogram registry; defaults to a fresh one.
+    profiler:
+        Wall-clock phase profiler; defaults to an enabled one (appends are
+        only paid inside explicit ``phase`` blocks).
+    show_phase_footers:
+        When ``True`` (the CLI's ``--profile``), drivers append their
+        phase wall-times as table footers.
+    """
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        profiler: Optional[PhaseProfiler] = None,
+        show_phase_footers: bool = False,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.profiler = profiler if profiler is not None else PhaseProfiler()
+        self.show_phase_footers = show_phase_footers
+        #: Summaries of every network built under this telemetry (seed,
+        #: populations, config) — the manifest's provenance section.
+        self.networks: List[Dict[str, Any]] = []
+        self._network_count = 0
+
+    @property
+    def tracing(self) -> bool:
+        """True when the tracer records (the detailed-accounting gate)."""
+        return self.tracer.enabled
+
+    def note_network(self, info: Mapping[str, Any]) -> None:
+        """Record one network build (kept up to :data:`MAX_NETWORK_NOTES`)."""
+        self._network_count += 1
+        if len(self.networks) < MAX_NETWORK_NOTES:
+            self.networks.append(dict(info))
+
+    @property
+    def network_count(self) -> int:
+        """Total networks built, including ones past the note cap."""
+        return self._network_count
+
+
+_ACTIVE: List[Telemetry] = []
+
+
+def active_telemetry() -> Optional[Telemetry]:
+    """The innermost open telemetry session, or ``None``."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextlib.contextmanager
+def telemetry_session(telemetry: Optional[Telemetry] = None) -> Iterator[Telemetry]:
+    """Make ``telemetry`` (or a fresh default) the ambient session.
+
+    Sessions nest; the innermost wins.  Everything built inside the
+    ``with`` block — networks, drivers, protocol runs — records into the
+    session's tracer/metrics/profiler.
+    """
+    tel = telemetry if telemetry is not None else Telemetry()
+    _ACTIVE.append(tel)
+    try:
+        yield tel
+    finally:
+        _ACTIVE.pop()

@@ -1,17 +1,51 @@
-"""Structured trace log for debugging and test assertions.
+"""Structured trace log: events, spans, and a streaming JSONL sink.
 
 Protocol code emits trace records ("node 5 resolved key 0x1a2b via node 9")
 through a :class:`Tracer`.  Tests assert on the record stream; experiments
 normally run with tracing disabled (a no-op fast path so hot loops pay only
 an attribute check).
+
+Beyond flat events the tracer supports lightweight **spans** — begin/end
+pairs carrying virtual time, wall time (``perf_counter``) and a parent id,
+so nested protocol operations (a route containing discovery detours, a
+move containing an LDT build) become an inspectable tree.  A completed
+span is appended to the record stream as a ``"span"``-category
+:class:`TraceRecord` and, when a :class:`JsonlSink` is attached, written
+out immediately as one JSON line — traces no longer have to fit in memory.
+
+Bounded tracing uses a ``collections.deque(maxlen=...)`` so overflow
+trimming is O(1) per event (the previous list-slice deletion was O(n)).
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+import json
+import time as _time
+from collections import deque
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    IO,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
-__all__ = ["TraceRecord", "Tracer", "NULL_TRACER"]
+__all__ = [
+    "TraceRecord",
+    "Span",
+    "Tracer",
+    "JsonlSink",
+    "read_jsonl",
+    "NULL_TRACER",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -37,31 +71,287 @@ class TraceRecord:
         return d
 
 
+@dataclasses.dataclass
+class Span:
+    """One begin/end span: virtual time, wall time, and a parent id.
+
+    Attributes
+    ----------
+    id:
+        Tracer-unique positive integer (0 is reserved for "no span", the
+        handle :meth:`Tracer.span_begin` returns when tracing is off).
+    name:
+        Operation name, e.g. ``"op.update"`` or ``"route"``.
+    parent:
+        Id of the enclosing span, or ``None`` for a root span.
+    start / end:
+        Virtual (simulation) time at begin/end; ``end`` is ``None`` while
+        the span is open.
+    wall_start / wall_end:
+        ``time.perf_counter()`` readings at begin/end.
+    fields:
+        Free-form annotations, merged from begin and end.
+    """
+
+    id: int
+    name: str
+    parent: Optional[int]
+    start: float
+    wall_start: float
+    end: Optional[float] = None
+    wall_end: Optional[float] = None
+    fields: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def open(self) -> bool:
+        """True until :meth:`Tracer.span_end` closes the span."""
+        return self.end is None
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Virtual-time duration (``None`` while open)."""
+        return None if self.end is None else self.end - self.start
+
+    @property
+    def wall_duration(self) -> Optional[float]:
+        """Wall-clock duration in seconds (``None`` while open)."""
+        return None if self.wall_end is None else self.wall_end - self.wall_start
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly representation (what the sink writes)."""
+        d: Dict[str, Any] = {
+            "kind": "span",
+            "id": self.id,
+            "name": self.name,
+            "parent": self.parent,
+            "time": self.start,
+            "end": self.end,
+            "wall_s": self.wall_duration,
+        }
+        d.update(self.fields)
+        return d
+
+
+def _json_default(value: Any) -> Any:
+    """Coerce NumPy scalars (and anything else odd) for ``json.dumps``."""
+    try:
+        return value.item()
+    except AttributeError:
+        return str(value)
+
+
+class JsonlSink:
+    """Streaming newline-delimited JSON writer for trace output.
+
+    Accepts a file path (opened for writing, closed by :meth:`close`) or
+    any object with a ``write`` method.  Each payload becomes exactly one
+    line, flushed lazily by the underlying buffer — the tracer's memory
+    bound no longer limits how much can be traced.
+    """
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        if hasattr(target, "write"):
+            self._fh: IO[str] = target  # type: ignore[assignment]
+            self._owns = False
+            self.path: Optional[str] = getattr(target, "name", None)
+        else:
+            self._fh = open(target, "w")
+            self._owns = True
+            self.path = str(target)
+        self.written = 0
+
+    def write(self, payload: Mapping[str, Any]) -> None:
+        """Serialise one record as a JSON line."""
+        self._fh.write(json.dumps(payload, default=_json_default) + "\n")
+        self.written += 1
+
+    def flush(self) -> None:
+        """Flush the underlying stream."""
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Flush, and close the file when this sink opened it."""
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace file back into a list of dicts.
+
+    Blank lines are skipped; malformed lines raise ``ValueError`` with the
+    offending line number so CI schema checks can point at the problem.
+    """
+    out: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid JSON line: {exc}") from None
+            if not isinstance(payload, dict):
+                raise ValueError(f"{path}:{lineno}: expected a JSON object")
+            out.append(payload)
+    return out
+
+
 class Tracer:
-    """Collects :class:`TraceRecord` entries when enabled.
+    """Collects :class:`TraceRecord` entries and :class:`Span` trees.
 
     Parameters
     ----------
     enabled:
-        When ``False`` (the default for experiments), :meth:`emit` is a
-        near-free early return.
+        When ``False`` (the default for experiments), :meth:`emit` and
+        :meth:`span_begin` are near-free early returns.
     capacity:
-        Optional bound; the oldest records are dropped once exceeded.
+        Optional in-memory bound; the oldest records are dropped once
+        exceeded (O(1) per event via ``deque(maxlen=...)``).  A sink keeps
+        receiving every record regardless of the bound.
+    sink:
+        Optional :class:`JsonlSink` receiving every event and completed
+        span as it happens.
     """
 
-    def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        enabled: bool = True,
+        capacity: Optional[int] = None,
+        sink: Optional[JsonlSink] = None,
+    ) -> None:
         self.enabled = enabled
         self.capacity = capacity
-        self._records: List[TraceRecord] = []
+        self.sink = sink
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self._next_span_id = 1
+        self._open_spans: Dict[int, Span] = {}
+        self._span_stack: List[int] = []
 
+    # ------------------------------------------------------------------
+    # Flat events
+    # ------------------------------------------------------------------
     def emit(self, time: float, category: str, **fields: Any) -> None:
         """Record an entry (no-op when disabled)."""
         if not self.enabled:
             return
-        self._records.append(TraceRecord(time, category, tuple(sorted(fields.items()))))
-        if self.capacity is not None and len(self._records) > self.capacity:
-            del self._records[: len(self._records) - self.capacity]
+        rec = TraceRecord(time, category, tuple(sorted(fields.items())))
+        self._records.append(rec)
+        if self.sink is not None:
+            payload = rec.as_dict()
+            payload["kind"] = "event"
+            self.sink.write(payload)
 
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def span_begin(
+        self, time: float, name: str, parent: Optional[int] = None, **fields: Any
+    ) -> int:
+        """Open a span at virtual ``time``; returns its id (0 when disabled).
+
+        When ``parent`` is omitted the innermost still-open span becomes
+        the parent, so nested ``begin``/``end`` pairs form a tree without
+        explicit bookkeeping at the call sites.
+        """
+        if not self.enabled:
+            return 0
+        sid = self._next_span_id
+        self._next_span_id += 1
+        if parent is None and self._span_stack:
+            parent = self._span_stack[-1]
+        span = Span(
+            id=sid,
+            name=name,
+            parent=parent,
+            start=float(time),
+            wall_start=_time.perf_counter(),
+            fields=dict(fields),
+        )
+        self._open_spans[sid] = span
+        self._span_stack.append(sid)
+        return sid
+
+    def span_end(self, time: float, span_id: int, **fields: Any) -> Optional[Span]:
+        """Close the span ``span_id`` at virtual ``time``.
+
+        Extra ``fields`` are merged into the span's annotations.  Returns
+        the completed :class:`Span`, or ``None`` for the disabled-tracer
+        handle 0 / an unknown id (lenient so async completions survive a
+        tracer swap).
+        """
+        if not self.enabled or span_id == 0:
+            return None
+        span = self._open_spans.pop(span_id, None)
+        if span is None:
+            return None
+        span.end = float(time)
+        span.wall_end = _time.perf_counter()
+        span.fields.update(fields)
+        try:
+            self._span_stack.remove(span_id)
+        except ValueError:
+            pass
+        record_fields = {
+            "name": span.name,
+            "id": span.id,
+            "parent": span.parent,
+            "end": span.end,
+            "wall_s": span.wall_duration,
+        }
+        record_fields.update(span.fields)
+        self._records.append(
+            TraceRecord(span.start, "span", tuple(sorted(record_fields.items())))
+        )
+        if self.sink is not None:
+            self.sink.write(span.as_dict())
+        return span
+
+    @contextlib.contextmanager
+    def span(
+        self,
+        name: str,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+        time: float = 0.0,
+        **fields: Any,
+    ) -> Iterator[int]:
+        """Context-manager span; yields the span id (0 when disabled).
+
+        ``clock`` is a zero-argument callable returning the current virtual
+        time (e.g. ``lambda: net.now``); without one, ``time`` stamps both
+        begin and end.
+        """
+        if not self.enabled:
+            yield 0
+            return
+        begin = clock() if clock is not None else time
+        sid = self.span_begin(begin, name, **fields)
+        try:
+            yield sid
+        finally:
+            self.span_end(clock() if clock is not None else begin, sid)
+
+    def spans(self, name: Optional[str] = None) -> List[TraceRecord]:
+        """Completed-span records, optionally filtered by span name."""
+        if name is None:
+            return [r for r in self._records if r.category == "span"]
+        return self.filter("span", name=name)
+
+    def open_span_count(self) -> int:
+        """Number of spans begun but not yet ended (should drain to 0)."""
+        return len(self._open_spans)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._records)
 
@@ -83,8 +373,10 @@ class Tracer:
         return len(self.filter(category, **match))
 
     def clear(self) -> None:
-        """Drop all recorded entries."""
+        """Drop all recorded entries and forget open spans."""
         self._records.clear()
+        self._open_spans.clear()
+        self._span_stack.clear()
 
 
 #: Shared disabled tracer for hot paths that were not handed a real one.

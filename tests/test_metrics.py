@@ -111,6 +111,28 @@ class TestRegistry:
         assert snap["hops.mean"] == 3.0
         assert snap["hops.count"] == 2.0
 
+    def test_snapshot_series_last_and_count(self):
+        reg = MetricsRegistry()
+        s = reg.series("load")
+        s.record(0.0, 5.0)
+        s.record(2.0, 9.0)
+        snap = reg.snapshot()
+        assert snap["load.last"] == 9.0
+        assert snap["load.count"] == 2.0
+
+    def test_snapshot_empty_series_last_is_nan(self):
+        reg = MetricsRegistry()
+        reg.series("idle")
+        snap = reg.snapshot()
+        assert math.isnan(snap["idle.last"])
+        assert snap["idle.count"] == 0.0
+
+    def test_series_map_property(self):
+        reg = MetricsRegistry()
+        s = reg.series("a")
+        assert reg.series_map["a"] is s
+        assert set(reg.series_map) == {"a"}
+
     def test_reset_keeps_names(self):
         reg = MetricsRegistry()
         reg.counter("a").inc()
@@ -184,6 +206,33 @@ class TestRecordCacheStats:
         record_cache_stats(reg, {"hits": 5})
         record_cache_stats(reg, {"hits": 12})
         assert reg.counter("oracle.hits").value == 12
+
+    def test_ratio_edge_values_stay_histograms(self):
+        # 0.0 and 1.0 are integer-valued floats; the suffix allowlist must
+        # still classify them as ratios, not counters.
+        from repro.sim import record_cache_stats
+
+        reg = MetricsRegistry()
+        record_cache_stats(reg, {"hit_rate": 0.0})
+        record_cache_stats(reg, {"hit_rate": 1.0})
+        assert "oracle.hit_rate" not in reg.counters
+        assert list(reg.histogram("oracle.hit_rate").samples) == [0.0, 1.0]
+
+    def test_explicit_ratios_override_suffix_heuristic(self):
+        from repro.sim import record_cache_stats
+
+        reg = MetricsRegistry()
+        record_cache_stats(reg, {"coverage": 1.0, "hits": 4.0}, ratios=("coverage",))
+        assert "oracle.coverage" not in reg.counters
+        assert reg.histogram("oracle.coverage").mean() == pytest.approx(1.0)
+        assert reg.counter("oracle.hits").value == 4
+
+    def test_ratio_suffixes_constant(self):
+        from repro.sim.metrics import RATIO_SUFFIXES
+
+        assert "rate" in RATIO_SUFFIXES
+        assert "ratio" in RATIO_SUFFIXES
+        assert "fraction" in RATIO_SUFFIXES
 
     def test_integrates_with_path_oracle(self):
         from repro.net import PathOracle, TransitStubParams, generate_transit_stub

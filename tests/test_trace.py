@@ -1,6 +1,12 @@
 """Tests for repro.sim.trace."""
 
-from repro.sim import NULL_TRACER, Tracer
+import io
+import json
+import time
+
+import pytest
+
+from repro.sim import NULL_TRACER, JsonlSink, Tracer, read_jsonl
 
 
 class TestTracer:
@@ -46,3 +52,135 @@ class TestTracer:
         t.emit(1.0, "x")
         t.clear()
         assert len(t) == 0
+
+
+class TestCapacityTrimming:
+    def test_bounded_storage_is_a_maxlen_deque(self):
+        # Regression guard for the O(n) list-slice trimming: the bound must
+        # be enforced by the deque itself, not by post-hoc deletion.
+        t = Tracer(capacity=3)
+        assert t._records.maxlen == 3
+        assert Tracer()._records.maxlen is None
+
+    def test_trimming_is_cheap_at_volume(self):
+        # 50k emits into a 10k-capacity tracer.  With O(1) trimming this is
+        # well under a second; the old O(n) slice-delete made it quadratic.
+        t = Tracer(capacity=10_000)
+        t0 = time.perf_counter()
+        for i in range(50_000):
+            t.emit(float(i), "e", i=i)
+        elapsed = time.perf_counter() - t0
+        assert len(t) == 10_000
+        assert next(iter(t)).get("i") == 40_000
+        assert elapsed < 2.0
+
+
+class TestSpans:
+    def test_begin_end_records_span(self):
+        t = Tracer()
+        sid = t.span_begin(1.0, "op.update", key=42)
+        span = t.span_end(3.0, sid, holders=2)
+        assert span is not None
+        assert span.name == "op.update"
+        assert span.duration == 2.0
+        assert span.wall_duration is not None and span.wall_duration >= 0.0
+        assert span.fields == {"key": 42, "holders": 2}
+        recs = t.spans("op.update")
+        assert len(recs) == 1
+        assert recs[0].get("end") == 3.0
+
+    def test_nested_spans_infer_parent(self):
+        t = Tracer()
+        outer = t.span_begin(0.0, "route")
+        inner = t.span_begin(1.0, "discover")
+        t.span_end(2.0, inner)
+        t.span_end(3.0, outer)
+        by_name = {r.get("name"): r for r in t.spans()}
+        assert by_name["route"].get("parent") is None
+        assert by_name["discover"].get("parent") == outer
+        assert t.open_span_count() == 0
+
+    def test_explicit_parent_wins(self):
+        t = Tracer()
+        a = t.span_begin(0.0, "a")
+        b = t.span_begin(0.0, "b")
+        c = t.span_begin(0.0, "c", parent=a)
+        for sid in (c, b, a):
+            t.span_end(1.0, sid)
+        by_name = {r.get("name"): r for r in t.spans()}
+        assert by_name["c"].get("parent") == a
+
+    def test_disabled_span_is_free_handle_zero(self):
+        t = Tracer(enabled=False)
+        sid = t.span_begin(0.0, "x")
+        assert sid == 0
+        assert t.span_end(1.0, sid) is None
+        assert len(t) == 0
+
+    def test_unknown_span_id_is_lenient(self):
+        t = Tracer()
+        assert t.span_end(1.0, 999) is None
+
+    def test_context_manager_span(self):
+        t = Tracer()
+        now = {"t": 5.0}
+        with t.span("route", clock=lambda: now["t"], src=1):
+            now["t"] = 7.0
+        rec = t.spans("route")[0]
+        assert rec.time == 5.0
+        assert rec.get("end") == 7.0
+        assert rec.get("src") == 1
+
+    def test_clear_forgets_open_spans(self):
+        t = Tracer()
+        t.span_begin(0.0, "x")
+        t.clear()
+        assert t.open_span_count() == 0
+
+
+class TestJsonlSink:
+    def test_stream_and_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlSink(path)
+        t = Tracer(sink=sink)
+        t.emit(1.0, "discovery", target=3)
+        sid = t.span_begin(2.0, "route", src=1)
+        t.span_end(4.0, sid, hops=2)
+        sink.close()
+        assert sink.written == 2
+        records = read_jsonl(path)
+        assert [r["kind"] for r in records] == ["event", "span"]
+        assert records[0]["category"] == "discovery"
+        assert records[1]["name"] == "route"
+        assert records[1]["end"] == 4.0
+        assert records[1]["hops"] == 2
+
+    def test_sink_outlives_memory_capacity(self):
+        buf = io.StringIO()
+        t = Tracer(capacity=2, sink=JsonlSink(buf))
+        for i in range(10):
+            t.emit(float(i), "e", i=i)
+        assert len(t) == 2  # memory stays bounded...
+        lines = [json.loads(x) for x in buf.getvalue().splitlines()]
+        assert len(lines) == 10  # ...but the sink saw everything
+
+    def test_numpy_fields_serialise(self):
+        import numpy as np
+
+        buf = io.StringIO()
+        t = Tracer(sink=JsonlSink(buf))
+        t.emit(0.0, "e", hops=np.int64(3), cost=np.float64(1.5))
+        payload = json.loads(buf.getvalue())
+        assert payload["hops"] == 3
+        assert payload["cost"] == 1.5
+
+    def test_read_jsonl_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2|:2:"):
+            read_jsonl(str(path))
+
+    def test_read_jsonl_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n')
+        assert len(read_jsonl(str(path))) == 2
