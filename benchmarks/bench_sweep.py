@@ -1,0 +1,222 @@
+"""Sweep-engine benchmark: run_fig7 wall-clock across jobs / underlay reuse.
+
+Times the default-scale Figure-7 sweep under every combination of
+``--jobs {1, cpu}`` and underlay reuse on/off, plus the pre-sweep-engine
+*seed* serial path (checked out into a throwaway git worktree), and writes
+
+* ``benchmarks/results/BENCH_sweep.json`` — machine-readable timings and
+  speedups (the CI perf gate reads ``speedups.best_vs_seed_serial``);
+* ``benchmarks/results/BENCH_sweep.txt`` — the human summary.
+
+Every variant runs in a fresh subprocess so no run inherits a warm
+process-global underlay cache from another; with repeats the minimum
+wall-clock is kept (the usual noise-floor estimator).
+
+Run directly: ``PYTHONPATH=src python benchmarks/bench_sweep.py``.
+(This is a standalone script, not a pytest-benchmark module — it needs
+subprocess and git-worktree orchestration the fixture harness doesn't do.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+from typing import Dict, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+#: Last revision before the sweep engine / owner memoisation landed — the
+#: serial seed path the acceptance criterion compares against.
+SEED_REV = "9585c54"
+
+#: Timed in a child process: current code, parameterised by (jobs, reuse).
+_VARIANT_SNIPPET = r"""
+import json, sys, time
+from repro.experiments.fig7_naming import run_fig7
+from repro.experiments.parallel import SweepConfig, sweep_session
+jobs, reuse = int(sys.argv[1]), sys.argv[2] == "1"
+t0 = time.perf_counter()
+with sweep_session(SweepConfig(jobs=jobs, reuse_underlay=reuse)):
+    table = run_fig7()
+print(json.dumps({"seconds": time.perf_counter() - t0, "rows": len(table.rows)}))
+"""
+
+#: Timed in a child process: the seed revision (no sweep engine to import).
+_SEED_SNIPPET = r"""
+import json, time
+from repro.experiments.fig7_naming import run_fig7
+t0 = time.perf_counter()
+table = run_fig7()
+print(json.dumps({"seconds": time.perf_counter() - t0, "rows": len(table.rows)}))
+"""
+
+
+def _time_subprocess(
+    snippet: str, pythonpath: str, args: Optional[list] = None
+) -> Dict[str, float]:
+    env = dict(os.environ, PYTHONPATH=pythonpath)
+    out = subprocess.run(
+        [sys.executable, "-c", snippet, *(args or [])],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+        check=True,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def _best_of(fn, repeats: int) -> Dict[str, float]:
+    runs = [fn() for _ in range(repeats)]
+    best = min(runs, key=lambda r: r["seconds"])
+    return {**best, "runs": [round(r["seconds"], 3) for r in runs]}
+
+
+def measure_seed_baseline(repeats: int) -> Optional[Dict[str, object]]:
+    """Time run_fig7 at :data:`SEED_REV` via a throwaway git worktree.
+
+    Returns ``None`` when the revision cannot be materialised (shallow
+    clone, no git): the JSON then records the degraded provenance and the
+    speedup falls back to the current serial/no-reuse path.
+    """
+    tmp = tempfile.mkdtemp(prefix=".bench-seed-", dir=str(REPO_ROOT))
+    worktree = pathlib.Path(tmp) / "wt"
+    try:
+        subprocess.run(
+            ["git", "worktree", "add", "--detach", str(worktree), SEED_REV],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO_ROOT),
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    try:
+        timing = _best_of(
+            lambda: _time_subprocess(_SEED_SNIPPET, str(worktree / "src")), repeats
+        )
+        return {**timing, "rev": SEED_REV}
+    finally:
+        subprocess.run(
+            ["git", "worktree", "remove", "--force", str(worktree)],
+            capture_output=True,
+            cwd=str(REPO_ROOT),
+            check=False,
+        )
+        try:
+            os.rmdir(tmp)
+        except OSError:
+            pass
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="timed runs per variant (min kept)"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel job count (default: machine core count)",
+    )
+    parser.add_argument(
+        "--skip-seed-baseline",
+        action="store_true",
+        help="do not check out and time the seed revision",
+    )
+    args = parser.parse_args(argv)
+    cpu = args.jobs if args.jobs else (os.cpu_count() or 1)
+    src = str(REPO_ROOT / "src")
+
+    variants: Dict[str, Dict[str, object]] = {}
+    timed: Dict[tuple, Dict[str, object]] = {}
+    grid = [
+        ("serial_no_reuse", 1, False),
+        ("serial_reuse", 1, True),
+        (f"jobs{cpu}_no_reuse", cpu, False),
+        (f"jobs{cpu}_reuse", cpu, True),
+    ]
+    for name, jobs, reuse in grid:
+        key = (jobs, reuse)
+        if key not in timed:  # cpu == 1 collapses the grid to two cells
+            print(f"timing {name} (jobs={jobs}, reuse={reuse}) ...", flush=True)
+            timed[key] = _best_of(
+                lambda jobs=jobs, reuse=reuse: _time_subprocess(
+                    _VARIANT_SNIPPET, src, [str(jobs), "1" if reuse else "0"]
+                ),
+                args.repeats,
+            )
+        variants[name] = {**timed[key], "jobs": jobs, "reuse_underlay": reuse}
+
+    seed = None
+    if not args.skip_seed_baseline:
+        print(f"timing seed serial path ({SEED_REV}) ...", flush=True)
+        seed = measure_seed_baseline(args.repeats)
+        if seed is None:
+            print("  (seed revision unavailable — falling back to serial_no_reuse)")
+
+    baseline = seed if seed is not None else variants["serial_no_reuse"]
+    best_name = min(variants, key=lambda n: variants[n]["seconds"])
+    best = variants[best_name]
+    speedups = {
+        name: round(baseline["seconds"] / v["seconds"], 3)
+        for name, v in variants.items()
+    }
+    payload = {
+        "benchmark": "sweep",
+        "experiment": "run_fig7 (default scale)",
+        "cpu_count": os.cpu_count(),
+        "jobs": cpu,
+        "repeats": args.repeats,
+        "python": sys.version.split()[0],
+        "seed_baseline": seed,
+        "baseline": "seed_serial" if seed is not None else "serial_no_reuse",
+        "variants": variants,
+        "speedups": {
+            **speedups,
+            "best_variant": best_name,
+            "best_vs_seed_serial": round(baseline["seconds"] / best["seconds"], 3),
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    json_path = RESULTS_DIR / "BENCH_sweep.json"
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        "Sweep-engine benchmark — run_fig7, default scale",
+        f"machine cores: {os.cpu_count()}; parallel variants use jobs={cpu}; "
+        f"best of {args.repeats} runs",
+        "",
+        f"  {'variant':<22} {'seconds':>8}  {'vs baseline':>11}",
+    ]
+    if seed is not None:
+        lines.append(
+            f"  {'seed serial (' + SEED_REV + ')':<22} "
+            f"{seed['seconds']:>8.2f}  {'1.00x':>11}"
+        )
+    for name, v in variants.items():
+        lines.append(
+            f"  {name:<22} {v['seconds']:>8.2f}  {speedups[name]:>10.2f}x"
+        )
+    lines += [
+        "",
+        f"best: {best_name} at "
+        f"{payload['speedups']['best_vs_seed_serial']:.2f}x the "
+        f"{payload['baseline']} path",
+    ]
+    text = "\n".join(lines)
+    (RESULTS_DIR / "BENCH_sweep.txt").write_text(text + "\n")
+    print("\n" + text)
+    print(f"\n[written to {json_path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,12 @@ Telemetry flags (``run`` and ``all`` — see docs/observability.md):
 writes the machine-readable run manifest (seed, config, phase wall-times,
 per-operation counters, cache stats), and ``--profile`` appends phase
 wall-clock footers to the printed tables.
+
+Sweep flags (``run`` and ``all`` — see docs/performance.md):
+``--jobs N`` fans experiment points out over N worker processes (results
+and tables are bit-identical to ``--jobs 1``), and
+``--no-underlay-reuse`` rebuilds the underlay per point instead of
+sharing one prebuilt bundle across the sweep.
 """
 
 from __future__ import annotations
@@ -64,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also draw ASCII charts for experiments with known series",
     )
     _add_telemetry_flags(run_p)
+    _add_sweep_flags(run_p)
 
     all_p = sub.add_parser("all", help="run the full evaluation")
     all_p.add_argument("--scale", choices=("quick", "default", "paper"), default="quick")
@@ -71,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
     all_p.add_argument("--precision", type=int, default=3)
     all_p.add_argument("--chart", action="store_true")
     _add_telemetry_flags(all_p)
+    _add_sweep_flags(all_p)
 
     audit_p = sub.add_parser("audit", help="verify every paper claim (PASS/FAIL)")
     audit_p.add_argument("--scale", choices=("quick", "default", "paper"), default="quick")
@@ -97,6 +105,31 @@ def _add_telemetry_flags(sub_parser: argparse.ArgumentParser) -> None:
         "--profile",
         action="store_true",
         help="append phase wall-clock footers to the printed tables",
+    )
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _add_sweep_flags(sub_parser: argparse.ArgumentParser) -> None:
+    """Attach the parallel-sweep flags to a subcommand parser."""
+    sub_parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes for experiment sweeps (1 = serial; "
+        "results are bit-identical either way)",
+    )
+    sub_parser.add_argument(
+        "--no-underlay-reuse",
+        action="store_true",
+        help="rebuild the underlay per sweep point instead of sharing "
+        "one prebuilt bundle",
     )
 
 
@@ -129,8 +162,12 @@ def _cmd_run(
     trace: Optional[str] = None,
     metrics: Optional[str] = None,
     profile: bool = False,
+    jobs: int = 1,
+    underlay_reuse: bool = True,
 ) -> int:
     import contextlib
+
+    from .experiments.parallel import SweepConfig, sweep_session
 
     resolved: List[str] = []
     unknown: List[str] = []
@@ -156,7 +193,8 @@ def _cmd_run(
         telemetry = Telemetry(tracer=tracer, show_phase_footers=profile)
         session = telemetry_session(telemetry)
 
-    with session:
+    sweep = SweepConfig(jobs=jobs, reuse_underlay=underlay_reuse)
+    with session, sweep_session(sweep):
         tables = run_all(scale=scale, names=resolved)
     text = render_report(tables, precision=precision)
     if chart:
@@ -188,6 +226,8 @@ def _cmd_run(
             telemetry=telemetry,
             argv=sys.argv[1:],
             trace_file=trace,
+            jobs=jobs,
+            underlay_reuse=underlay_reuse,
         )
         manifest_targets = [p for p in (metrics,) if p]
         if out:
@@ -232,11 +272,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(
             args.names, args.scale, args.out, args.precision, args.chart,
             trace=args.trace, metrics=args.metrics, profile=args.profile,
+            jobs=args.jobs, underlay_reuse=not args.no_underlay_reuse,
         )
     if args.command == "all":
         return _cmd_run(
             list(EXPERIMENTS), args.scale, args.out, args.precision, args.chart,
             trace=args.trace, metrics=args.metrics, profile=args.profile,
+            jobs=args.jobs, underlay_reuse=not args.no_underlay_reuse,
         )
     if args.command == "audit":
         from .experiments.audit import render_audit, run_audit

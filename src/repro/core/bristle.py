@@ -32,6 +32,7 @@ from ..net.transit_stub import (
     generate_transit_stub,
     params_for_router_count,
 )
+from ..net.underlay import UnderlayBundle
 from ..overlay.base import Overlay
 from ..overlay.factory import make_overlay
 from ..overlay.keyspace import KeySpace
@@ -96,6 +97,11 @@ class BristleNetwork:
         Population sizes (N = sum; M = num_mobile).
     topology:
         An existing underlay, or ``None`` to generate one.
+    underlay:
+        A prebuilt :class:`~repro.net.underlay.UnderlayBundle` whose
+        topology *and* path oracle this network shares (sweep drivers use
+        this so many points reuse one Dijkstra cache).  Mutually exclusive
+        with ``topology``/``router_count``; placement stays per-network.
     router_count:
         When generating, approximate underlay size (default scales with
         the population).
@@ -113,6 +119,7 @@ class BristleNetwork:
         num_mobile: int,
         *,
         topology: Optional[TransitStubTopology] = None,
+        underlay: Optional[UnderlayBundle] = None,
         router_count: Optional[int] = None,
         capacities: Optional[Dict[int, float]] = None,
         max_capacity: int = 15,
@@ -148,12 +155,25 @@ class BristleNetwork:
         self.mobile_keys: List[int] = sorted(assignment.mobile_keys)
 
         # --- underlay -----------------------------------------------------
-        if topology is None:
-            total = num_stationary + num_mobile
-            routers = router_count if router_count is not None else max(100, total // 4)
-            topology = generate_transit_stub(params_for_router_count(routers), self.rng)
+        if underlay is not None:
+            if topology is not None or router_count is not None:
+                raise ValueError(
+                    "underlay= is mutually exclusive with topology=/router_count="
+                )
+            topology = underlay.topology
+            self.oracle = underlay.oracle  # shared, stays warm across points
+        else:
+            if topology is None:
+                total = num_stationary + num_mobile
+                routers = (
+                    router_count if router_count is not None else max(100, total // 4)
+                )
+                topology = generate_transit_stub(
+                    params_for_router_count(routers), self.rng
+                )
+            self.oracle = PathOracle(topology.graph)
         self.topology = topology
-        self.oracle = PathOracle(topology.graph)
+        self.underlay = underlay
         self.placement = Placement(topology, self.rng)
 
         # --- nodes ----------------------------------------------------------
@@ -217,15 +237,19 @@ class BristleNetwork:
                 key, self.nodes[key].address, now=0.0, ttl=config.state_ttl
             )
         # Provenance note for the run manifest (seed, sizes, config).
-        self.telemetry.note_network(
-            {
-                "seed": config.seed,
-                "num_stationary": num_stationary,
-                "num_mobile": num_mobile,
-                "naming": config.naming,
-                "config": dataclasses.asdict(config),
+        note = {
+            "seed": config.seed,
+            "num_stationary": num_stationary,
+            "num_mobile": num_mobile,
+            "naming": config.naming,
+            "config": dataclasses.asdict(config),
+        }
+        if underlay is not None:
+            note["underlay"] = {
+                "seed": underlay.seed,
+                "router_count": underlay.router_count,
             }
-        )
+        self.telemetry.note_network(note)
 
     # ------------------------------------------------------------------
     # Convenience queries

@@ -12,8 +12,9 @@ Three checks back the paper's asymptotic statements with measurements:
 
 from __future__ import annotations
 
+import dataclasses
 import math
-from typing import Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 
@@ -23,13 +24,42 @@ from ..core.config import BristleConfig
 from ..core.ldt import LDTMember, build_ldt
 from ..core.mobility import shuffle_all_mobile
 from ..core.routing import route_preferring_resolved
+from ..net.underlay import build_underlay, shared_underlay_cache
 from ..overlay.factory import make_overlay
 from ..overlay.keyspace import KeySpace
-from ..sim.rng import RngStreams
+from ..sim.rng import RngStreams, derive_seed
 from ..workloads.routes import sample_stationary_pairs
 from .common import ResultTable
+from .parallel import active_sweep, derive_point_seeds, sweep_map
 
 __all__ = ["run_hop_scaling", "run_ldt_depth_scaling", "run_eq1_check"]
+
+
+@dataclasses.dataclass(frozen=True)
+class _HopScalingPoint:
+    """One network size of the lookup/state-scaling sweep."""
+
+    overlay_name: str
+    n: int
+    routes_per_size: int
+    seed: int  # derived per-point child seed (not ``seed + n``)
+
+
+def _hop_scaling_point(pt: _HopScalingPoint) -> Dict[str, float]:
+    """Module-level (picklable) per-size worker for :func:`sweep_map`."""
+    space = KeySpace()
+    rng = RngStreams(pt.seed)
+    keys = [int(k) for k in space.random_keys(rng, "keys", pt.n)]
+    ov = make_overlay(pt.overlay_name, space)
+    ov.build(keys)
+    gen = rng.stream("routes")
+    hops = []
+    for _ in range(pt.routes_per_size):
+        s = keys[int(gen.integers(pt.n))]
+        t = int(gen.integers(space.size))
+        hops.append(ov.route(s, t).hop_count)
+    state = ov.state_size_stats()
+    return {"mean_hops": float(np.mean(hops)), "mean_state": state["mean"]}
 
 
 def run_hop_scaling(
@@ -38,37 +68,64 @@ def run_hop_scaling(
     routes_per_size: int = 300,
     seed: int = 13,
 ) -> ResultTable:
-    """Mean lookup hops and state size across network sizes."""
+    """Mean lookup hops and state size across network sizes.
+
+    Per-size seeds derive through the sweep helper (the former ``seed + n``
+    formula produced correlated adjacent seeds and collided whenever two
+    sweeps' ``seed + n`` grids overlapped).
+    """
     table = ResultTable(
         title=f"Bound check — {overlay_name} lookup/state scaling",
         columns=["N", "mean hops", "log2 N", "hops/log2 N", "mean state", "state/log2 N"],
         notes=[f"{routes_per_size} random routes per size"],
     )
-    space = KeySpace()
-    for n in sizes:
-        rng = RngStreams(seed + n)
-        keys = [int(k) for k in space.random_keys(rng, "keys", n)]
-        ov = make_overlay(overlay_name, space)
-        ov.build(keys)
-        gen = rng.stream("routes")
-        hops = []
-        for _ in range(routes_per_size):
-            s = keys[int(gen.integers(n))]
-            t = int(gen.integers(space.size))
-            hops.append(ov.route(s, t).hop_count)
-        state = ov.state_size_stats()
+    seeds = derive_point_seeds(seed, list(sizes), variants=(overlay_name,))
+    points = [
+        _HopScalingPoint(
+            overlay_name=overlay_name,
+            n=n,
+            routes_per_size=routes_per_size,
+            seed=seeds[(n, overlay_name)],
+        )
+        for n in sizes
+    ]
+    results = sweep_map(_hop_scaling_point, points)
+    for n, res in zip(sizes, results):
         log_n = math.log2(n)
         table.add_row(
             **{
                 "N": n,
-                "mean hops": float(np.mean(hops)),
+                "mean hops": res["mean_hops"],
                 "log2 N": log_n,
-                "hops/log2 N": float(np.mean(hops)) / log_n,
-                "mean state": state["mean"],
-                "state/log2 N": state["mean"] / log_n,
+                "hops/log2 N": res["mean_hops"] / log_n,
+                "mean state": res["mean_state"],
+                "state/log2 N": res["mean_state"] / log_n,
             }
         )
     return table
+
+
+@dataclasses.dataclass(frozen=True)
+class _LDTDepthPoint:
+    """One population size of the LDT-depth sweep (pure computation)."""
+
+    n: int
+    branching_capacity: int
+    trees_per_size: int
+
+
+def _ldt_depth_point(pt: _LDTDepthPoint) -> float:
+    """Module-level (picklable) per-size worker for :func:`sweep_map`."""
+    registry = max(1, math.ceil(math.log2(pt.n)))
+    depths = []
+    for _ in range(pt.trees_per_size):
+        members = [
+            LDTMember(key=i + 1, capacity=float(pt.branching_capacity))
+            for i in range(registry)
+        ]
+        root = LDTMember(key=0, capacity=float(pt.branching_capacity))
+        depths.append(build_ldt(root, members).depth)
+    return float(np.mean(depths))
 
 
 def run_ldt_depth_scaling(
@@ -84,25 +141,68 @@ def run_ldt_depth_scaling(
         notes=[f"uniform capacity {branching_capacity} (k = {branching_capacity}), "
                f"{trees_per_size} trees per size"],
     )
-    for n in sizes:
+    points = [
+        _LDTDepthPoint(
+            n=n,
+            branching_capacity=branching_capacity,
+            trees_per_size=trees_per_size,
+        )
+        for n in sizes
+    ]
+    results = sweep_map(_ldt_depth_point, points)
+    for n, mean_depth in zip(sizes, results):
         registry = max(1, math.ceil(math.log2(n)))
-        depths = []
-        for t in range(trees_per_size):
-            members = [
-                LDTMember(key=i + 1, capacity=float(branching_capacity))
-                for i in range(registry)
-            ]
-            root = LDTMember(key=0, capacity=float(branching_capacity))
-            depths.append(build_ldt(root, members).depth)
         table.add_row(
             **{
                 "N": n,
                 "registry": registry,
-                "mean depth": float(np.mean(depths)),
+                "mean depth": mean_depth,
                 "bound log_k(log N)": advertisement_hops(n, branching_capacity),
             }
         )
     return table
+
+
+#: Underlay size for the eq. (1) sweep (all fractions share one bundle).
+_EQ1_ROUTER_COUNT = 200
+
+
+@dataclasses.dataclass(frozen=True)
+class _Eq1Point:
+    """One mobility fraction of the eq. (1) resolution check."""
+
+    fraction: float
+    num_stationary: int
+    num_mobile: int
+    routes: int
+    underlay_seed: int
+    seed: int
+    reuse_underlay: bool
+
+
+def _eq1_point(pt: _Eq1Point) -> Dict[str, int]:
+    """Module-level (picklable) per-fraction worker for :func:`sweep_map`."""
+    bundle = (
+        shared_underlay_cache().get(pt.underlay_seed, _EQ1_ROUTER_COUNT)
+        if pt.reuse_underlay
+        else build_underlay(pt.underlay_seed, _EQ1_ROUTER_COUNT)
+    )
+    cfg = BristleConfig(seed=pt.seed, naming="clustered", p_stale=1.0)
+    net = BristleNetwork(cfg, pt.num_stationary, pt.num_mobile, underlay=bundle)
+    shuffle_all_mobile(net)
+    pairs = sample_stationary_pairs(net.stationary_keys, pt.routes, net.rng)
+    with_res = 0
+    predicted_unsafe = 0
+    naming = net.naming
+    for s, t in pairs:
+        trace = route_preferring_resolved(net, s, t)
+        if trace.resolutions > 0:
+            with_res += 1
+        if not clustered_route_is_stationary(
+            s, t, naming.low, naming.high, net.space.size
+        ):
+            predicted_unsafe += 1
+    return {"with_res": with_res, "predicted_unsafe": predicted_unsafe}
 
 
 def run_eq1_check(
@@ -131,29 +231,29 @@ def run_eq1_check(
         ],
         notes=[f"{num_stationary} stationary nodes, {routes} routes per point"],
     )
-    for frac in fractions:
-        num_mobile = int(round(num_stationary * frac / (1 - frac)))
-        cfg = BristleConfig(seed=seed, naming="clustered", p_stale=1.0)
-        net = BristleNetwork(cfg, num_stationary, num_mobile, router_count=200)
-        shuffle_all_mobile(net)
-        pairs = sample_stationary_pairs(net.stationary_keys, routes, net.rng)
-        with_res = 0
-        predicted_unsafe = 0
-        naming = net.naming
-        for s, t in pairs:
-            trace = route_preferring_resolved(net, s, t)
-            if trace.resolutions > 0:
-                with_res += 1
-            if not clustered_route_is_stationary(
-                s, t, naming.low, naming.high, net.space.size
-            ):
-                predicted_unsafe += 1
+    sweep = active_sweep()
+    underlay_seed = derive_seed(seed, "underlay")
+    seeds = derive_point_seeds(seed, list(fractions))
+    points = [
+        _Eq1Point(
+            fraction=frac,
+            num_stationary=num_stationary,
+            num_mobile=int(round(num_stationary * frac / (1 - frac))),
+            routes=routes,
+            underlay_seed=underlay_seed,
+            seed=seeds[(frac, "")],
+            reuse_underlay=sweep.reuse_underlay,
+        )
+        for frac in fractions
+    ]
+    results = sweep_map(_eq1_point, points)
+    for pt, res in zip(points, results):
         table.add_row(
             **{
-                "M/N (%)": round(100 * frac, 1),
-                "nabla": (num_stationary) / (num_stationary + num_mobile),
-                "routes w/ resolution (%)": 100.0 * with_res / routes,
-                "predicted unsafe (%)": 100.0 * predicted_unsafe / routes,
+                "M/N (%)": round(100 * pt.fraction, 1),
+                "nabla": pt.num_stationary / (pt.num_stationary + pt.num_mobile),
+                "routes w/ resolution (%)": 100.0 * res["with_res"] / pt.routes,
+                "predicted unsafe (%)": 100.0 * res["predicted_unsafe"] / pt.routes,
             }
         )
     return table

@@ -22,8 +22,11 @@ from ..core.bristle import BristleNetwork
 from ..core.config import BristleConfig
 from ..core.mobility import shuffle_all_mobile
 from ..core.routing import route_with_resolution
+from ..net.underlay import build_underlay, shared_underlay_cache
+from ..sim.rng import derive_seed
 from ..workloads.routes import sample_stationary_pairs
 from .common import ResultTable
+from .parallel import active_sweep, derive_point_seeds, sweep_map
 
 __all__ = ["ScalingParams", "run_scaling"]
 
@@ -36,8 +39,43 @@ class ScalingParams:
     seed: int = 47
 
 
+@dataclasses.dataclass(frozen=True)
+class _ScalingPoint:
+    """One (population size, naming scheme) cell of the scaling sweep."""
+
+    naming: str
+    n: int
+    num_stationary: int
+    num_mobile: int
+    routes: int
+    router_count: int
+    underlay_seed: int
+    seed: int
+    reuse_underlay: bool
+
+
+def _scaling_point(pt: _ScalingPoint) -> float:
+    """Module-level (picklable) per-cell worker for :func:`sweep_map`."""
+    bundle = (
+        shared_underlay_cache().get(pt.underlay_seed, pt.router_count)
+        if pt.reuse_underlay
+        else build_underlay(pt.underlay_seed, pt.router_count)
+    )
+    cfg = BristleConfig(seed=pt.seed, naming=pt.naming, p_stale=1.0)
+    net = BristleNetwork(cfg, pt.num_stationary, pt.num_mobile, underlay=bundle)
+    shuffle_all_mobile(net)
+    pairs = sample_stationary_pairs(net.stationary_keys, pt.routes, net.rng)
+    hops = [route_with_resolution(net, s, t).app_hops for s, t in pairs]
+    return float(np.mean(hops))
+
+
 def run_scaling(params: Optional[ScalingParams] = None) -> ResultTable:
-    """Route hops vs N for both naming schemes at fixed M/N."""
+    """Route hops vs N for both naming schemes at fixed M/N.
+
+    The sizes × schemes grid fans out through :func:`sweep_map`; each cell
+    derives its own child seed (decoupling the two schemes' RNG streams)
+    and sizes sharing a router count share one prebuilt underlay bundle.
+    """
     p = params if params is not None else ScalingParams()
     if not 0.0 <= p.mobile_share < 1.0:
         raise ValueError("mobile_share must be in [0, 1)")
@@ -56,20 +94,37 @@ def run_scaling(params: Optional[ScalingParams] = None) -> ResultTable:
             "cold caches (p_stale = 1)",
         ],
     )
-    for n in p.sizes:
-        num_mobile = int(round(n * p.mobile_share))
-        num_stationary = n - num_mobile
-        row = {"N": n, "log2 N": math.log2(n)}
-        for naming in ("scrambled", "clustered"):
-            cfg = BristleConfig(seed=p.seed, naming=naming, p_stale=1.0)
-            net = BristleNetwork(
-                cfg, num_stationary, num_mobile, router_count=max(150, n // 3)
-            )
-            shuffle_all_mobile(net)
-            pairs = sample_stationary_pairs(net.stationary_keys, p.routes, net.rng)
-            hops = [route_with_resolution(net, s, t).app_hops for s, t in pairs]
-            row[f"hops {naming}"] = float(np.mean(hops))
-        row["scrambled / log2 N"] = row["hops scrambled"] / row["log2 N"]
-        row["clustered / log2 N"] = row["hops clustered"] / row["log2 N"]
-        table.add_row(**row)
+    sweep = active_sweep()
+    underlay_seed = derive_seed(p.seed, "underlay")
+    seeds = derive_point_seeds(
+        p.seed, list(p.sizes), variants=("scrambled", "clustered")
+    )
+    points = [
+        _ScalingPoint(
+            naming=naming,
+            n=n,
+            num_stationary=n - int(round(n * p.mobile_share)),
+            num_mobile=int(round(n * p.mobile_share)),
+            routes=p.routes,
+            router_count=max(150, n // 3),
+            underlay_seed=underlay_seed,
+            seed=seeds[(n, naming)],
+            reuse_underlay=sweep.reuse_underlay,
+        )
+        for n in p.sizes
+        for naming in ("scrambled", "clustered")
+    ]
+    results = sweep_map(_scaling_point, points)
+    for n, scr, clu in zip(p.sizes, results[0::2], results[1::2]):
+        log_n = math.log2(n)
+        table.add_row(
+            **{
+                "N": n,
+                "log2 N": log_n,
+                "hops scrambled": scr,
+                "hops clustered": clu,
+                "scrambled / log2 N": scr / log_n,
+                "clustered / log2 N": clu / log_n,
+            }
+        )
     return table

@@ -21,10 +21,18 @@ from ..core.bristle import BristleNetwork
 from ..core.config import BristleConfig
 from ..core.mobility import shuffle_all_mobile
 from ..core.routing import route_preferring_resolved, route_with_resolution
+from ..net.underlay import (
+    UnderlayBundle,
+    build_underlay,
+    cache_stats_delta,
+    shared_underlay_cache,
+)
 from ..sim.metrics import record_cache_stats
+from ..sim.rng import derive_seed
 from ..sim.telemetry import active_telemetry
 from ..workloads.routes import sample_stationary_pairs
 from .common import ResultTable, driver_profiler, maybe_add_phase_footer
+from .parallel import active_sweep, derive_point_seeds, sweep_map
 
 __all__ = ["Fig7Params", "measure_naming_scheme", "run_fig7"]
 
@@ -66,6 +74,7 @@ def measure_naming_scheme(
     router_count: int,
     seed: int,
     routing_policy: str = "greedy",
+    underlay: Optional[UnderlayBundle] = None,
 ) -> Dict[str, float]:
     """Build one network, shuffle every mobile node once (cold caches),
     sample routes, and return the Figure-7 aggregates.
@@ -73,14 +82,21 @@ def measure_naming_scheme(
     The oracle is pre-warmed with the attachment routers of every member
     (the exact source set the sweep's hop costs can touch) so the 10,000
     per-hop distance reads hit a batch-computed cache; the oracle's
-    counters ride along under ``"cache_stats"``.
+    counters ride along under ``"cache_stats"``.  When a prebuilt
+    ``underlay`` bundle is supplied its (possibly shared, already warm)
+    oracle is used and the reported stats are this point's *delta* —
+    totals then agree with the per-point-oracle path.
     """
     prof = driver_profiler()
     cfg = BristleConfig(seed=seed, naming=naming, p_stale=1.0)
+    stats_before = underlay.oracle.cache_stats() if underlay is not None else None
     with prof.phase("build"):
-        net = BristleNetwork(
-            cfg, num_stationary, num_mobile, router_count=router_count
-        )
+        if underlay is not None:
+            net = BristleNetwork(cfg, num_stationary, num_mobile, underlay=underlay)
+        else:
+            net = BristleNetwork(
+                cfg, num_stationary, num_mobile, router_count=router_count
+            )
         shuffle_all_mobile(net)
     with prof.phase("warmup"):
         net.prewarm_oracle()  # one batched Dijkstra over the post-move routers
@@ -97,12 +113,50 @@ def measure_naming_scheme(
             hops[i] = trace.app_hops
             costs[i] = trace.path_cost
             resolutions[i] = trace.resolutions
+    after = net.oracle.cache_stats()
     return {
         "hops": float(hops.mean()),
         "cost": float(costs.mean()),
         "resolutions": float(resolutions.mean()),
-        "cache_stats": net.oracle.cache_stats(),
+        "cache_stats": (
+            cache_stats_delta(stats_before, after) if stats_before is not None else after
+        ),
     }
+
+
+@dataclasses.dataclass(frozen=True)
+class _Fig7Point:
+    """One (mobility fraction, naming scheme) cell of the Fig-7 grid."""
+
+    naming: str
+    fraction: float
+    num_stationary: int
+    num_mobile: int
+    routes: int
+    router_count: int
+    underlay_seed: int
+    seed: int
+    routing_policy: str
+    reuse_underlay: bool
+
+
+def _fig7_point(pt: _Fig7Point) -> Dict[str, float]:
+    """Module-level (picklable) per-point worker for :func:`sweep_map`."""
+    bundle = (
+        shared_underlay_cache().get(pt.underlay_seed, pt.router_count)
+        if pt.reuse_underlay
+        else build_underlay(pt.underlay_seed, pt.router_count)
+    )
+    return measure_naming_scheme(
+        pt.naming,
+        pt.num_stationary,
+        pt.num_mobile,
+        pt.routes,
+        pt.router_count,
+        pt.seed,
+        pt.routing_policy,
+        underlay=bundle,
+    )
 
 
 def run_fig7(params: Optional[Fig7Params] = None) -> ResultTable:
@@ -110,6 +164,13 @@ def run_fig7(params: Optional[Fig7Params] = None) -> ResultTable:
 
     Columns cover both sub-figures: mean hops per scheme (7a), mean path
     cost per scheme, and the two RDP ratios (7b).
+
+    The 2 × len(fractions) grid cells are independent: each gets its own
+    child seed via :func:`~repro.experiments.parallel.derive_point_seeds`
+    (decoupling the scrambled/clustered RNG streams that previously shared
+    ``p.seed`` verbatim) and runs through :func:`sweep_map`, sharing one
+    prebuilt underlay keyed on ``(derive_seed(p.seed, "underlay"),
+    router_count)``.
     """
     p = params if params is not None else Fig7Params()
     table = ResultTable(
@@ -138,15 +199,40 @@ def run_fig7(params: Optional[Fig7Params] = None) -> ResultTable:
     for frac in p.fractions:
         if frac >= 1.0:
             raise ValueError("mobile fraction must be < 1")
-        num_mobile = int(round(p.num_stationary * frac / (1.0 - frac)))
-        scr = measure_naming_scheme(
-            "scrambled", p.num_stationary, num_mobile, p.routes, p.router_count,
-            p.seed, p.routing_policy,
+    sweep = active_sweep()
+    underlay_seed = derive_seed(p.seed, "underlay")
+    seeds = derive_point_seeds(
+        p.seed, list(p.fractions), variants=("scrambled", "clustered")
+    )
+    if sweep.reuse_underlay:
+        # Build + fully warm the shared oracle once, before any fork: every
+        # attachment point is covered, so each grid cell sees an identical
+        # (all-hits) cache regardless of job count or point order.
+        bundle = shared_underlay_cache().get(underlay_seed, p.router_count)
+        before = bundle.oracle.cache_stats()
+        with driver_profiler().phase("warmup"):
+            bundle.oracle.prewarm(bundle.topology.attachment_points())
+        for k, v in cache_stats_delta(before, bundle.oracle.cache_stats()).items():
+            if k in cache_totals:
+                cache_totals[k] += v
+    points = [
+        _Fig7Point(
+            naming=naming,
+            fraction=frac,
+            num_stationary=p.num_stationary,
+            num_mobile=int(round(p.num_stationary * frac / (1.0 - frac))),
+            routes=p.routes,
+            router_count=p.router_count,
+            underlay_seed=underlay_seed,
+            seed=seeds[(frac, naming)],
+            routing_policy=p.routing_policy,
+            reuse_underlay=sweep.reuse_underlay,
         )
-        clu = measure_naming_scheme(
-            "clustered", p.num_stationary, num_mobile, p.routes, p.router_count,
-            p.seed, p.routing_policy,
-        )
+        for frac in p.fractions
+        for naming in ("scrambled", "clustered")
+    ]
+    results = sweep_map(_fig7_point, points)
+    for frac, scr, clu in zip(p.fractions, results[0::2], results[1::2]):
         for stats in (scr["cache_stats"], clu["cache_stats"]):
             for k in cache_totals:
                 cache_totals[k] += stats[k]

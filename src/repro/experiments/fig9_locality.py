@@ -20,9 +20,16 @@ import numpy as np
 
 from ..core.bristle import BristleNetwork
 from ..core.config import BristleConfig
+from ..net.underlay import (
+    build_underlay,
+    cache_stats_delta,
+    shared_underlay_cache,
+)
 from ..sim.metrics import record_cache_stats
+from ..sim.rng import derive_seed
 from ..sim.telemetry import active_telemetry
 from .common import ResultTable, driver_profiler, maybe_add_phase_footer
+from .parallel import active_sweep, derive_point_seeds, sweep_map
 
 __all__ = ["Fig9Params", "measure_ldt_costs", "run_fig9"]
 
@@ -99,8 +106,65 @@ def measure_ldt_costs(
     }
 
 
+@dataclasses.dataclass(frozen=True)
+class _Fig9Point:
+    """One mobility fraction of the Fig-9 sweep.
+
+    Both registration strategies live in the *same* point: the paper's
+    paired design builds two networks from one seed (identical topology,
+    keys and placement — only registration differs), so the with/without
+    variants must share the per-fraction child seed rather than get
+    decoupled ones.
+    """
+
+    fraction: float
+    num_stationary: int
+    num_mobile: int
+    router_count: int
+    max_capacity: int
+    trees_sampled: Optional[int]
+    underlay_seed: int
+    seed: int
+    reuse_underlay: bool
+
+
+def _fig9_point(pt: _Fig9Point) -> Dict[str, object]:
+    """Module-level (picklable) per-point worker for :func:`sweep_map`."""
+    bundle = (
+        shared_underlay_cache().get(pt.underlay_seed, pt.router_count)
+        if pt.reuse_underlay
+        else build_underlay(pt.underlay_seed, pt.router_count)
+    )
+    before = bundle.oracle.cache_stats()
+    prof = driver_profiler()
+    cfg = BristleConfig(seed=pt.seed, naming="scrambled")
+    results: Dict[str, object] = {}
+    for label, with_locality in (("loc", True), ("rand", False)):
+        with prof.phase("build"):
+            net = BristleNetwork(
+                cfg,
+                pt.num_stationary,
+                pt.num_mobile,
+                underlay=bundle,
+                max_capacity=pt.max_capacity,
+            )
+        results[label] = measure_ldt_costs(
+            net, with_locality=with_locality, trees_sampled=pt.trees_sampled
+        )
+    # One delta for the whole point: the bundle oracle outlives the two
+    # networks (and, with reuse, the point itself).
+    results["cache_stats"] = cache_stats_delta(before, bundle.oracle.cache_stats())
+    return results
+
+
 def run_fig9(params: Optional[Fig9Params] = None) -> ResultTable:
-    """The Figure-9 sweep: cost with vs without locality across M/N."""
+    """The Figure-9 sweep: cost with vs without locality across M/N.
+
+    Fractions are independent points fanned out via :func:`sweep_map`; the
+    underlay bundle is shared across all of them (keyed on
+    ``(derive_seed(p.seed, "underlay"), router_count)``) and each fraction
+    derives its own child seed, shared by the paired loc/rand builds.
+    """
     p = params if params is not None else Fig9Params()
     table = ResultTable(
         title="Figure 9 — LDT cost with / without network locality",
@@ -126,41 +190,45 @@ def run_fig9(params: Optional[Fig9Params] = None) -> ResultTable:
     for frac in p.fractions:
         if not 0.0 < frac < 1.0:
             raise ValueError("fractions must lie in (0, 1)")
-        num_stationary = p.num_stationary
-        num_mobile = int(round(num_stationary * frac / (1.0 - frac)))
-        if num_mobile < 1:
-            continue
-        base_cfg = dict(seed=p.seed, naming="scrambled")
-        prof = driver_profiler()
-        # Two fresh networks with identical seeds → identical topology,
-        # keys and placement; only the registration strategy differs.
-        with prof.phase("build"):
-            net_loc = BristleNetwork(
-                BristleConfig(**base_cfg),
-                num_stationary,
-                num_mobile,
-                router_count=p.router_count,
-                max_capacity=p.max_capacity,
-            )
-        loc = measure_ldt_costs(net_loc, with_locality=True, trees_sampled=p.trees_sampled)
-        with prof.phase("build"):
-            net_rand = BristleNetwork(
-                BristleConfig(**base_cfg),
-                num_stationary,
-                num_mobile,
-                router_count=p.router_count,
-                max_capacity=p.max_capacity,
-            )
-        rand = measure_ldt_costs(net_rand, with_locality=False, trees_sampled=p.trees_sampled)
-        for stats in (loc["cache_stats"], rand["cache_stats"]):
-            for k in cache_totals:
-                cache_totals[k] += stats[k]
+    sweep = active_sweep()
+    underlay_seed = derive_seed(p.seed, "underlay")
+    seeds = derive_point_seeds(p.seed, list(p.fractions))
+    if sweep.reuse_underlay:
+        # Warm the shared oracle over every attachment point before any
+        # fork, so each fraction sees an identical all-hits cache.
+        bundle = shared_underlay_cache().get(underlay_seed, p.router_count)
+        before = bundle.oracle.cache_stats()
+        with driver_profiler().phase("warmup"):
+            bundle.oracle.prewarm(bundle.topology.attachment_points())
+        for k, v in cache_stats_delta(before, bundle.oracle.cache_stats()).items():
+            if k in cache_totals:
+                cache_totals[k] += v
+    points = [
+        _Fig9Point(
+            fraction=frac,
+            num_stationary=p.num_stationary,
+            num_mobile=num_mobile,
+            router_count=p.router_count,
+            max_capacity=p.max_capacity,
+            trees_sampled=p.trees_sampled,
+            underlay_seed=underlay_seed,
+            seed=seeds[(frac, "")],
+            reuse_underlay=sweep.reuse_underlay,
+        )
+        for frac in p.fractions
+        if (num_mobile := int(round(p.num_stationary * frac / (1.0 - frac)))) >= 1
+    ]
+    results = sweep_map(_fig9_point, points)
+    for pt, res in zip(points, results):
+        loc, rand = res["loc"], res["rand"]
+        for k in cache_totals:
+            cache_totals[k] += res["cache_stats"][k]
         cost_loc = loc["per_tree_per_edge_cost"]
         cost_rand = rand["per_tree_per_edge_cost"]
         table.add_row(
             **{
-                "M/N (%)": round(100 * frac, 1),
-                "N": num_stationary + num_mobile,
+                "M/N (%)": round(100 * pt.fraction, 1),
+                "N": pt.num_stationary + pt.num_mobile,
                 "with locality": cost_loc,
                 "without locality": cost_rand,
                 "penalty (x)": cost_rand / cost_loc if cost_loc else math.nan,

@@ -36,7 +36,8 @@ __all__ = [
 MANIFEST_KIND = "repro-run-manifest"
 
 #: Bumped on incompatible manifest layout changes.
-MANIFEST_SCHEMA_VERSION = 1
+#: v2 added the parallel-sweep fields ``jobs`` and ``underlay_reuse``.
+MANIFEST_SCHEMA_VERSION = 2
 
 
 class ManifestError(ValueError):
@@ -72,6 +73,8 @@ def build_manifest(
     telemetry: Telemetry,
     argv: Optional[Iterable[str]] = None,
     trace_file: Optional[str] = None,
+    jobs: int = 1,
+    underlay_reuse: bool = True,
     extra: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble the manifest for one finished run.
@@ -81,6 +84,11 @@ def build_manifest(
     nothing); counters prefixed ``op.`` surface as ``operation_counters``
     and ``oracle.*`` snapshot entries as ``cache_stats``.  All metric
     values are sanitised to finite-or-null so the output is strict JSON.
+
+    ``jobs`` and ``underlay_reuse`` record how the sweep engine ran;
+    because worker telemetry is merged back into the parent session, the
+    counters and cache stats here are totals over every worker — identical
+    in shape (and, per point, in value) whatever ``jobs`` was.
     """
     snapshot = {k: _finite(v) for k, v in telemetry.metrics.snapshot().items()}
     counters = {
@@ -101,6 +109,8 @@ def build_manifest(
         "python": platform.python_version(),
         "argv": list(argv) if argv is not None else None,
         "trace_file": trace_file,
+        "jobs": int(jobs),
+        "underlay_reuse": bool(underlay_reuse),
         "phase_wall_times": {
             k: round(v, 6) for k, v in telemetry.profiler.wall_times().items()
         },
@@ -154,6 +164,12 @@ def validate_manifest(payload: Any) -> Dict[str, Any]:
         problems.append("config is required (object or null)")
     elif payload["config"] is not None and not isinstance(payload["config"], dict):
         problems.append("config must be an object or null")
+    if isinstance(version, int) and version >= 2:
+        jobs = payload.get("jobs")
+        if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+            problems.append(f"jobs must be a positive int, got {jobs!r}")
+        if not isinstance(payload.get("underlay_reuse"), bool):
+            problems.append("underlay_reuse must be a bool")
     for field in ("phase_wall_times", "operation_counters", "cache_stats", "metrics"):
         mapping = payload.get(field)
         if not isinstance(mapping, dict):

@@ -30,8 +30,10 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..core.routing import route_with_resolution
+from ..net.underlay import shared_underlay_cache
 from ..workloads.scenarios import ComparisonScenario, build_comparison_scenario
 from .common import ResultTable, driver_profiler, maybe_add_phase_footer
+from .parallel import active_sweep, sweep_map
 
 __all__ = ["Table1Params", "run_table1"]
 
@@ -172,29 +174,76 @@ def _type_b_metrics(scenario: ComparisonScenario, p: Table1Params) -> Dict[str, 
     }
 
 
-def run_table1(params: Optional[Table1Params] = None) -> ResultTable:
-    """Build the shared scenario and measure all three architectures."""
-    p = params if params is not None else Table1Params()
-    metrics_by_type: Dict[str, Dict[str, float]] = {}
-    # Fresh scenario per architecture so instrumentation never leaks
-    # between them; the seed pins an identical world.
+_ARCH_FNS = {
+    "Type A": _type_a_metrics,
+    "Type B": _type_b_metrics,
+    "Bristle": _bristle_metrics,
+}
+
+#: Table-1 measurement order (also the row order).
+_ARCHITECTURES = ("Type A", "Type B", "Bristle")
+
+
+@dataclasses.dataclass(frozen=True)
+class _Table1Point:
+    """One architecture of the Table-1 comparison.
+
+    All three points deliberately share ``params.seed``: Table 1 compares
+    the architectures over *one identical world* (same topology, same key
+    assignment, same lookup draws), so the per-variant seed decoupling the
+    figure sweeps use would defeat the experiment's pairing.
+    """
+
+    arch: str
+    params: Table1Params
+    router_count: int
+    reuse_underlay: bool
+
+
+def _table1_point(pt: _Table1Point) -> Dict[str, float]:
+    """Module-level (picklable) per-architecture worker for sweep_map."""
     from ..core.config import BristleConfig
 
+    p = pt.params
     prof = driver_profiler()
-    for name, fn in (
-        ("Type A", _type_a_metrics),
-        ("Type B", _type_b_metrics),
-        ("Bristle", _bristle_metrics),
-    ):
-        with prof.phase("build"):
-            scenario = build_comparison_scenario(
-                p.num_stationary,
-                p.num_mobile,
-                seed=p.seed,
-                config=BristleConfig(seed=p.seed, naming=p.naming),
-            )
-        with prof.phase("measure"):
-            metrics_by_type[name] = fn(scenario, p)
+    # The bundle key is (p.seed, router_count) — the very derivation
+    # build_comparison_scenario uses inline — so cached and uncached paths
+    # produce byte-identical worlds.
+    underlay = (
+        shared_underlay_cache().get(p.seed, pt.router_count)
+        if pt.reuse_underlay
+        else None
+    )
+    with prof.phase("build"):
+        scenario = build_comparison_scenario(
+            p.num_stationary,
+            p.num_mobile,
+            seed=p.seed,
+            config=BristleConfig(seed=p.seed, naming=p.naming),
+            underlay=underlay,
+        )
+    with prof.phase("measure"):
+        return _ARCH_FNS[pt.arch](scenario, p)
+
+
+def run_table1(params: Optional[Table1Params] = None) -> ResultTable:
+    """Measure all three architectures (a 3-point sweep over one world)."""
+    p = params if params is not None else Table1Params()
+    sweep = active_sweep()
+    router_count = max(100, (p.num_stationary + p.num_mobile) // 2)
+    points = [
+        _Table1Point(
+            arch=name,
+            params=p,
+            router_count=router_count,
+            reuse_underlay=sweep.reuse_underlay,
+        )
+        for name in _ARCHITECTURES
+    ]
+    results = sweep_map(_table1_point, points)
+    metrics_by_type: Dict[str, Dict[str, float]] = {
+        pt.arch: res for pt, res in zip(points, results)
+    }
 
     table = ResultTable(
         title="Table 1 — design choices, measured",

@@ -85,11 +85,17 @@ class Overlay(abc.ABC):
     #: well under 100 hops.
     MAX_ROUTE_HOPS = 512
 
+    #: Cap on the owner-resolution memo (cleared wholesale when full, and on
+    #: every membership change).  Ownership is a pure function of the member
+    #: set, and routing asks for the same owner ~5 times per hop.
+    OWNER_MEMO_MAX = 1 << 17
+
     def __init__(self, space: KeySpace, proximity: Optional[ProximityFn] = None) -> None:
         self.space = space
         self.proximity = proximity
         self._keys: np.ndarray = np.empty(0, dtype=np.uint64)  # sorted member keys
         self._member_set: set = set()
+        self._owner_memo: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Membership
@@ -114,6 +120,7 @@ class Overlay(abc.ABC):
             raise ValueError("cannot build an overlay with no members")
         self._keys = np.asarray(key_list, dtype=np.uint64)
         self._member_set = set(key_list)
+        self._owner_memo.clear()
         self._reset_state()
         for k in key_list:
             self._build_node(k)
@@ -126,6 +133,7 @@ class Overlay(abc.ABC):
         self._member_set.add(key)
         idx = int(np.searchsorted(self._keys, key))
         self._keys = np.insert(self._keys, idx, np.uint64(key))
+        self._owner_memo.clear()
         self._on_add(key)
 
     def remove_node(self, key: int) -> None:
@@ -137,6 +145,7 @@ class Overlay(abc.ABC):
         self._member_set.remove(key)
         idx = int(np.searchsorted(self._keys, key))
         self._keys = np.delete(self._keys, idx)
+        self._owner_memo.clear()
         self._on_remove(key)
 
     # ------------------------------------------------------------------
@@ -146,12 +155,26 @@ class Overlay(abc.ABC):
         """Member key responsible for ``key``.
 
         The paper's storage rule (§1): "store a data item with a hash key k
-        in a peer node whose hash key is the closest to k."  The default is
-        ring-nearest; Chord overrides to its successor rule.
+        in a peer node whose hash key is the closest to k."  Ownership is a
+        pure function of the member set, so the answer is memoized here (the
+        memo is invalidated on every membership change); subclasses override
+        :meth:`_compute_owner` with their storage rule instead of this.
         """
+        cached = self._owner_memo.get(key)
+        if cached is not None:
+            return cached
         self.space.validate(key)
         if self._keys.size == 0:
             raise RuntimeError("overlay has no members")
+        owner = self._compute_owner(key)
+        if len(self._owner_memo) >= self.OWNER_MEMO_MAX:
+            self._owner_memo.clear()
+        self._owner_memo[key] = owner
+        return owner
+
+    def _compute_owner(self, key: int) -> int:
+        """The storage rule: ring-nearest by default; Chord uses successor,
+        Tapestry the surrogate root, CAN the zone tessellation."""
         return self.space.nearest_key(self._keys, key)
 
     def progress_key(self, node: int, target: int):

@@ -217,11 +217,8 @@ class CANOverlay(Overlay):
             for z in self._zone_boxes[member]
         )
 
-    def owner_of(self, key: int) -> int:
+    def _compute_owner(self, key: int) -> int:
         """The member whose zone contains the key's point."""
-        self.space.validate(key)
-        if self._keys.size == 0:
-            raise RuntimeError("overlay has no members")
         point = self.point_of(key)
         for member, boxes in self._zone_boxes.items():
             if any(z.contains(point) for z in boxes):

@@ -40,15 +40,20 @@ class ChordOverlay(Overlay):
         self.successor_list_size = successor_list_size
         self._fingers: Dict[int, List[int]] = {}
         self._successors: Dict[int, List[int]] = {}
+        # Finger-start offsets 2**i, precomputed for the vectorised build.
+        # uint64 arithmetic holds key + 2**i without overflow up to 63 bits;
+        # wider rings fall back to the scalar per-finger path.
+        self._finger_steps: Optional[np.ndarray] = (
+            np.array([1 << i for i in range(space.bits)], dtype=np.uint64)
+            if space.bits <= 63
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Ownership: Chord stores k at successor(k)
     # ------------------------------------------------------------------
-    def owner_of(self, key: int) -> int:
+    def _compute_owner(self, key: int) -> int:
         """Chord stores key k at successor(k)."""
-        self.space.validate(key)
-        if self._keys.size == 0:
-            raise RuntimeError("overlay has no members")
         return self.space.successor_key(self._keys, key)
 
     def progress_key(self, node: int, target: int):
@@ -71,12 +76,24 @@ class ChordOverlay(Overlay):
         size = self.space.size
         fingers: List[int] = []
         last = None
-        for i in range(self.space.bits):
-            start = (key + (1 << i)) % size
-            f = self.space.successor_key(self._keys, start)
-            if f != key and f != last:
-                fingers.append(f)
-                last = f
+        if self._finger_steps is not None:
+            # One batched searchsorted for all m finger starts instead of m
+            # scalar successor_key calls; candidate order (ascending i) and
+            # the consecutive-duplicate filter match the scalar path exactly.
+            starts = (np.uint64(key) + self._finger_steps) % np.uint64(size)
+            idx = np.searchsorted(self._keys, starts) % self._keys.size
+            for f in self._keys[idx].tolist():
+                f = int(f)
+                if f != key and f != last:
+                    fingers.append(f)
+                    last = f
+        else:
+            for i in range(self.space.bits):
+                start = (key + (1 << i)) % size
+                f = self.space.successor_key(self._keys, start)
+                if f != key and f != last:
+                    fingers.append(f)
+                    last = f
         self._fingers[key] = fingers
         # Successor list: the next r members clockwise.
         idx = int(np.searchsorted(self._keys, key))

@@ -38,16 +38,13 @@ class TapestryOverlay(PastryOverlay):
     # ------------------------------------------------------------------
     # Surrogate-root ownership
     # ------------------------------------------------------------------
-    def owner_of(self, key: int) -> int:
+    def _compute_owner(self, key: int) -> int:
         """The key's surrogate root (§ surrogate routing).
 
         Descends digit by digit; at each level the target's digit is used
         when some member continues under it, otherwise the digit is bumped
         upward (mod base) to the nearest populated value.
         """
-        self.space.validate(key)
-        if self._keys.size == 0:
-            raise RuntimeError("overlay has no members")
         keys = self._keys
         bits = self.space.bits
         b = self.space.digit_bits

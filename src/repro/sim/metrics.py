@@ -207,6 +207,44 @@ class MetricsRegistry:
             h.reset()
         self._series.clear()
 
+    # ------------------------------------------------------------------
+    # Cross-process merge (sweep workers → parent session)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """Picklable snapshot of every accumulator, for worker→parent merge.
+
+        Unlike :meth:`snapshot` (a flat numeric view), this keeps full
+        fidelity: raw histogram samples and series points travel across
+        the process boundary so the merged registry is indistinguishable
+        from one that recorded everything in-process.
+        """
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "histograms": {n: list(h._samples) for n, h in self._histograms.items()},
+            "series": {
+                n: (list(s._times), list(s._values)) for n, s in self._series.items()
+            },
+        }
+
+    def merge_state(self, state: Mapping[str, object]) -> None:
+        """Fold a worker's :meth:`export_state` into this registry.
+
+        Counters are summed, histogram samples extended, and series points
+        appended with times clamped to this registry's last recorded time
+        (worker clocks are process-local and may sit behind the parent's;
+        clamping preserves every point without violating monotonicity).
+        """
+        for name, value in state.get("counters", {}).items():  # type: ignore[union-attr]
+            self.counter(name).inc(int(value))
+        for name, samples in state.get("histograms", {}).items():  # type: ignore[union-attr]
+            self.histogram(name).observe_many(samples)
+        for name, (times, values) in state.get("series", {}).items():  # type: ignore[union-attr]
+            s = self.series(name)
+            floor = s._times[-1] if s._times else float("-inf")
+            for t, v in zip(times, values):
+                floor = max(floor, float(t))
+                s.record(floor, v)
+
 
 #: Name suffixes treated as ratio-valued by default: these stats stay
 #: histograms even when their value happens to be a whole number (a

@@ -88,3 +88,25 @@ class PhaseProfiler:
         """Drop all accumulated phase data."""
         self._totals.clear()
         self._counts.clear()
+
+    # ------------------------------------------------------------------
+    # Cross-process merge (sweep workers → parent session)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, Dict]:
+        """Picklable snapshot of phase totals and entry counts."""
+        return {"totals": dict(self._totals), "counts": dict(self._counts)}
+
+    def merge_state(self, state: Dict[str, Dict]) -> None:
+        """Fold a worker's :meth:`export_state` into this profiler.
+
+        Phase seconds and entry counts are attributed additively, exactly
+        as if the worker's ``phase`` blocks had run in this process (note
+        that summed worker wall-time can exceed elapsed wall-time when
+        phases ran concurrently).
+        """
+        if not self.enabled:
+            return
+        for name, seconds in state.get("totals", {}).items():
+            self._totals[name] = self._totals.get(name, 0.0) + float(seconds)
+        for name, count in state.get("counts", {}).items():
+            self._counts[name] = self._counts.get(name, 0) + int(count)

@@ -81,6 +81,39 @@ class Telemetry:
         """Total networks built, including ones past the note cap."""
         return self._network_count
 
+    # ------------------------------------------------------------------
+    # Cross-process merge (sweep workers → parent session)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, Any]:
+        """Picklable snapshot of everything a sweep worker accumulated.
+
+        Spans are deliberately absent: traces are per-process streams (a
+        worker's tracer is disabled — see ``repro.experiments.parallel``),
+        while metrics, phase wall-times and network provenance merge
+        losslessly into the parent session.
+        """
+        return {
+            "metrics": self.metrics.export_state(),
+            "profiler": self.profiler.export_state(),
+            "networks": [dict(n) for n in self.networks],
+            "network_count": self._network_count,
+        }
+
+    def merge_state(self, state: Mapping[str, Any]) -> None:
+        """Fold a worker's :meth:`export_state` into this bundle.
+
+        Counters are summed, histogram samples extended, phase wall-times
+        attributed additively and network notes appended (up to
+        :data:`MAX_NETWORK_NOTES`), so ``--profile`` and the run manifest
+        look the same whether the points ran here or in a pool.
+        """
+        self.metrics.merge_state(state.get("metrics", {}))
+        self.profiler.merge_state(state.get("profiler", {}))
+        for info in state.get("networks", []):
+            if len(self.networks) < MAX_NETWORK_NOTES:
+                self.networks.append(dict(info))
+        self._network_count += int(state.get("network_count", 0))
+
 
 _ACTIVE: List[Telemetry] = []
 

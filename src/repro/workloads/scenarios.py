@@ -16,6 +16,7 @@ from ..baselines.type_b import TypeBMobileIPHSP2P
 from ..core.bristle import BristleNetwork
 from ..core.config import BristleConfig
 from ..net.transit_stub import generate_transit_stub, params_for_router_count
+from ..net.underlay import UnderlayBundle
 from ..sim.rng import RngStreams
 
 __all__ = ["ComparisonScenario", "build_comparison_scenario", "build_bristle"]
@@ -61,22 +62,30 @@ def build_comparison_scenario(
     seed: int = 1,
     router_count: Optional[int] = None,
     config: Optional[BristleConfig] = None,
+    underlay: Optional[UnderlayBundle] = None,
 ) -> ComparisonScenario:
     """Build Bristle, Type A and Type B over the same topology and the
     same initial key assignment.
 
     The baselines use host ids equal to the Bristle node keys, so lookup
     workloads expressed in keys apply verbatim to all three.
+
+    ``underlay`` short-circuits topology generation with a prebuilt
+    bundle; it must have been built from the same ``(seed, router count)``
+    (as :func:`repro.net.underlay.build_underlay` does) for results to
+    match the inline path — the Bristle network then also shares the
+    bundle's path oracle.
     """
     cfg = config if config is not None else BristleConfig(seed=seed)
     rng = RngStreams(seed)
     total = num_stationary + num_mobile
     routers = router_count if router_count is not None else max(100, total // 2)
-    topology = generate_transit_stub(params_for_router_count(routers), rng)
-
-    bristle = BristleNetwork(
-        cfg, num_stationary, num_mobile, topology=topology
-    )
+    if underlay is not None:
+        topology = underlay.topology
+        bristle = BristleNetwork(cfg, num_stationary, num_mobile, underlay=underlay)
+    else:
+        topology = generate_transit_stub(params_for_router_count(routers), rng)
+        bristle = BristleNetwork(cfg, num_stationary, num_mobile, topology=topology)
     host_keys = {k: k for k in bristle.stationary_keys + bristle.mobile_keys}
     mobile_hosts = set(bristle.mobile_keys)
     space = bristle.space

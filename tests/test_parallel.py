@@ -1,0 +1,236 @@
+"""Parallel sweep engine: determinism, telemetry merge, seed derivation,
+and the shared-underlay cache.
+
+The headline guarantees under test:
+
+* result tables are **bit-identical** across ``jobs=1`` / ``jobs=2`` and
+  cached / uncached underlays (``table_to_json`` as the comparison basis);
+* worker telemetry merges back losslessly — counters, histograms, cache
+  totals and network notes agree with the serial run;
+* per-point child seeds are a pure function of (master, point, variant),
+  decoupled across variants, and collision-checked.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import Fig7Params, Fig9Params, run_fig7, run_fig9, table_to_json
+from repro.experiments.manifest import (
+    ManifestError,
+    build_manifest,
+    validate_manifest,
+)
+from repro.experiments import parallel
+from repro.experiments.parallel import (
+    SweepConfig,
+    active_sweep,
+    derive_point_seed,
+    derive_point_seeds,
+    resolve_jobs,
+    sweep_map,
+    sweep_session,
+)
+from repro.net.underlay import (
+    UnderlayCache,
+    build_underlay,
+    cache_stats_delta,
+    shared_underlay_cache,
+)
+from repro.sim.telemetry import Telemetry, active_telemetry, telemetry_session
+from repro.sim.trace import Tracer
+
+#: Small but non-trivial sweeps (two fractions, both naming variants).
+FIG7_SMALL = Fig7Params(
+    num_stationary=120, routes=150, router_count=150, fractions=(0.2, 0.5), seed=21
+)
+FIG9_SMALL = Fig9Params(
+    num_stationary=60, router_count=200, fractions=(0.3, 0.6), trees_sampled=40, seed=22
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _telemetry_point(x):
+    tel = active_telemetry()
+    tel.metrics.counter("test.points").inc(1)
+    tel.metrics.counter("test.sum").inc(x)
+    tel.metrics.histogram("test.values").observe(float(x))
+    with tel.profiler.phase("test-phase"):
+        pass
+    return x
+
+
+def _run_table(run_fn, params, jobs, reuse):
+    """One experiment run in a fresh sweep session with a cold shared cache.
+
+    Clearing the process-global underlay cache first is what makes the
+    telemetry comparisons exact: a bundle left warm by a previous run
+    would turn this run's prewarm misses into hits.
+    """
+    shared_underlay_cache().clear()
+    with sweep_session(SweepConfig(jobs=jobs, reuse_underlay=reuse)):
+        return run_fn(params)
+
+
+class TestSweepConfig:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SweepConfig(jobs=0)
+
+    def test_defaults_are_serial_with_reuse(self):
+        cfg = SweepConfig()
+        assert cfg.jobs == 1 and cfg.reuse_underlay
+
+    def test_session_scopes_the_active_config(self):
+        assert active_sweep().jobs == 1
+        with sweep_session(SweepConfig(jobs=3)):
+            assert active_sweep().jobs == 3
+            assert resolve_jobs(None) == 3
+            assert resolve_jobs(5) == 5
+        assert active_sweep().jobs == 1
+
+
+class TestSeedDerivation:
+    def test_pure_function_of_point_and_variant(self):
+        assert derive_point_seed(7, 0.3, "a") == derive_point_seed(7, 0.3, "a")
+
+    def test_variants_decouple(self):
+        """The Fig-7 bugfix: scrambled and clustered must not share seeds."""
+        s = derive_point_seed(5, 0.4, "scrambled")
+        c = derive_point_seed(5, 0.4, "clustered")
+        assert s != c
+
+    def test_independent_of_position(self):
+        grid_a = derive_point_seeds(9, [0.1, 0.2, 0.3])
+        grid_b = derive_point_seeds(9, [0.3, 0.1])
+        assert grid_a[(0.3, "")] == grid_b[(0.3, "")]
+
+    def test_not_the_seed_plus_i_scheme(self):
+        seeds = derive_point_seeds(13, [128, 256, 512], variants=("chord",))
+        assert seeds[(256, "chord")] != 13 + 256
+
+    def test_grid_covers_points_times_variants(self):
+        grid = derive_point_seeds(3, [1, 2], variants=("x", "y"))
+        assert set(grid) == {(1, "x"), (1, "y"), (2, "x"), (2, "y")}
+        assert len(set(grid.values())) == 4
+
+    def test_collision_raises(self, monkeypatch):
+        monkeypatch.setattr(parallel, "derive_seed", lambda master, label: 42)
+        with pytest.raises(ValueError, match="collision"):
+            derive_point_seeds(1, [1, 2])
+
+
+class TestSweepMap:
+    def test_serial_preserves_order(self):
+        assert sweep_map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_parallel_preserves_order(self):
+        with sweep_session(SweepConfig(jobs=2)):
+            assert sweep_map(_square, list(range(7))) == [x * x for x in range(7)]
+
+    def test_empty_points(self):
+        assert sweep_map(_square, []) == []
+
+    def test_explicit_jobs_overrides_session(self):
+        assert sweep_map(_square, [2, 4], jobs=2) == [4, 16]
+
+    def test_worker_telemetry_merges_into_parent(self):
+        tel = Telemetry(tracer=Tracer(enabled=False))
+        with telemetry_session(tel), sweep_session(SweepConfig(jobs=2)):
+            sweep_map(_telemetry_point, [1, 2, 3, 4])
+        assert tel.metrics.counters["test.points"].value == 4
+        assert tel.metrics.counters["test.sum"].value == 10
+        assert len(tel.metrics.histograms["test.values"]) == 4
+        assert tel.profiler.wall_times().get("test-phase", 0.0) >= 0.0
+
+
+class TestDeterminism:
+    """Tables must be byte-identical whatever the job count or caching."""
+
+    @pytest.mark.parametrize("run_fn,params", [
+        (run_fig7, FIG7_SMALL),
+        (run_fig9, FIG9_SMALL),
+    ])
+    def test_jobs_and_caching_invariance(self, run_fn, params):
+        reference = table_to_json(_run_table(run_fn, params, jobs=1, reuse=True))
+        for jobs, reuse in ((2, True), (1, False), (2, False)):
+            got = table_to_json(_run_table(run_fn, params, jobs=jobs, reuse=reuse))
+            assert got == reference, f"table drifted at jobs={jobs}, reuse={reuse}"
+
+
+class TestTelemetryParity:
+    """jobs=2 must report the same totals the serial run does."""
+
+    def _run_instrumented(self, jobs):
+        tel = Telemetry(tracer=Tracer(enabled=False))
+        shared_underlay_cache().clear()
+        with telemetry_session(tel), sweep_session(SweepConfig(jobs=jobs)):
+            run_fig7(FIG7_SMALL)
+        return tel
+
+    def test_counters_and_cache_totals_match_serial(self):
+        serial, parallel_ = self._run_instrumented(1), self._run_instrumented(2)
+        assert {n: c.value for n, c in serial.metrics.counters.items()} == {
+            n: c.value for n, c in parallel_.metrics.counters.items()
+        }
+        assert serial.network_count == parallel_.network_count
+        for name, hist in serial.metrics.histograms.items():
+            assert len(parallel_.metrics.histograms[name]) == len(hist)
+
+    def test_manifest_records_jobs_and_validates(self):
+        tel = self._run_instrumented(2)
+        payload = build_manifest(
+            experiments=["fig7"], scale="quick", telemetry=tel,
+            jobs=2, underlay_reuse=True,
+        )
+        payload = validate_manifest(json.loads(json.dumps(payload)))
+        assert payload["jobs"] == 2
+        assert payload["underlay_reuse"] is True
+
+    def test_manifest_rejects_bad_jobs(self):
+        tel = Telemetry(tracer=Tracer(enabled=False))
+        payload = build_manifest(experiments=["fig7"], scale="quick", telemetry=tel)
+        payload["jobs"] = 0
+        with pytest.raises(ManifestError, match="jobs"):
+            validate_manifest(payload)
+
+
+class TestUnderlayCache:
+    def test_hit_returns_the_same_bundle(self):
+        cache = UnderlayCache()
+        a = cache.get(1, 60)
+        b = cache.get(1, 60)
+        assert a is b
+        assert cache.stats()["hits"] == 1 and cache.stats()["misses"] == 1
+
+    def test_lru_eviction(self):
+        cache = UnderlayCache(max_entries=2)
+        cache.get(1, 60)
+        cache.get(2, 60)
+        cache.get(1, 60)  # refresh (1, 60): (2, 60) is now least-recent
+        first = cache.get(1, 60)
+        cache.get(3, 60)  # evicts (2, 60)
+        assert cache.stats()["evictions"] == 1
+        assert cache.get(1, 60) is first  # survived the eviction
+        assert len(cache) == 2
+
+    def test_cached_bundle_matches_fresh_build(self):
+        cached = shared_underlay_cache().get(17, 80)
+        fresh = build_underlay(17, 80)
+        assert len(cached.topology.stub_routers) == len(fresh.topology.stub_routers)
+        assert list(cached.topology.attachment_points()) == list(
+            fresh.topology.attachment_points()
+        )
+
+    def test_cache_stats_delta_windows_the_counters(self):
+        bundle = build_underlay(23, 60)
+        before = bundle.oracle.cache_stats()
+        bundle.oracle.prewarm(bundle.topology.attachment_points())
+        delta = cache_stats_delta(before, bundle.oracle.cache_stats())
+        assert delta["misses"] > 0
+        again = bundle.oracle.cache_stats()
+        redo = cache_stats_delta(again, bundle.oracle.cache_stats())
+        assert redo["misses"] == 0 and redo["hits"] == 0
