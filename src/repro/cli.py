@@ -23,6 +23,13 @@ Sweep flags (``run`` and ``all`` — see docs/performance.md):
 and tables are bit-identical to ``--jobs 1``), and
 ``--no-underlay-reuse`` rebuilds the underlay per point instead of
 sharing one prebuilt bundle across the sweep.
+
+Sanitizer (``run`` and ``all`` — see docs/static-analysis.md):
+``--sanitize`` (or ``REPRO_SANITIZE=1``) enables runtime invariant
+checks — overlay consistency after churn, LDT structure after builds,
+lease monotonicity, manifest round-trips — and prints a
+``[sanitize] N invariant checks, V violations`` summary.  The checks are
+read-only, so sanitized output is bit-identical to an unsanitized run.
 """
 
 from __future__ import annotations
@@ -106,6 +113,12 @@ def _add_telemetry_flags(sub_parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="append phase wall-clock footers to the printed tables",
     )
+    sub_parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable runtime invariant checks (same as REPRO_SANITIZE=1); "
+        "read-only, results stay bit-identical",
+    )
 
 
 def _positive_int(text: str) -> int:
@@ -164,9 +177,11 @@ def _cmd_run(
     profile: bool = False,
     jobs: int = 1,
     underlay_reuse: bool = True,
+    sanitize: bool = False,
 ) -> int:
     import contextlib
 
+    from . import sanitize as sanitize_mod
     from .experiments.parallel import SweepConfig, sweep_session
 
     resolved: List[str] = []
@@ -181,10 +196,16 @@ def _cmd_run(
         print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
 
+    if sanitize:
+        sanitize_mod.set_enabled(True)
+    san_active = sanitize_mod.enabled()
+
     telemetry = None
     sink = None
     session: "contextlib.AbstractContextManager" = contextlib.nullcontext()
-    if trace or metrics or profile:
+    # A sanitized run opens a (quiet) telemetry session too: workers report
+    # their check counts through the merged ``sanitize.*`` counters.
+    if trace or metrics or profile or san_active:
         from .sim.telemetry import Telemetry, telemetry_session
         from .sim.trace import JsonlSink, Tracer
 
@@ -213,7 +234,7 @@ def _cmd_run(
             fh.write(text + "\n")
         print(f"[written to {out}]")
 
-    if telemetry is not None:
+    if telemetry is not None and (trace or metrics or profile):
         from .experiments.io import manifest_path_for, write_manifest
         from .experiments.manifest import build_manifest
 
@@ -238,6 +259,10 @@ def _cmd_run(
             print(f"[manifest written to {target}]")
         if profile:
             print("[profile] " + telemetry.profiler.footer_line())
+    if san_active and telemetry is not None:
+        checks = int(telemetry.metrics.counter("sanitize.checks").value)
+        violations = int(telemetry.metrics.counter("sanitize.violations").value)
+        print(sanitize_mod.summary_line(checks, violations))
     return 0
 
 
@@ -273,12 +298,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.names, args.scale, args.out, args.precision, args.chart,
             trace=args.trace, metrics=args.metrics, profile=args.profile,
             jobs=args.jobs, underlay_reuse=not args.no_underlay_reuse,
+            sanitize=args.sanitize,
         )
     if args.command == "all":
         return _cmd_run(
             list(EXPERIMENTS), args.scale, args.out, args.precision, args.chart,
             trace=args.trace, metrics=args.metrics, profile=args.profile,
             jobs=args.jobs, underlay_reuse=not args.no_underlay_reuse,
+            sanitize=args.sanitize,
         )
     if args.command == "audit":
         from .experiments.audit import render_audit, run_audit

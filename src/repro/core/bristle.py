@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import sanitize as _sanitize
 from ..net.address import NetworkAddress
 from ..net.placement import Placement
 from ..net.shortest_path import PathOracle
@@ -217,6 +218,9 @@ class BristleNetwork:
             "overlay.build", layer="mobile", members=num_stationary + num_mobile
         ):
             self.mobile_layer.build(self.stationary_keys + self.mobile_keys)
+        if _sanitize.ACTIVE:
+            _sanitize.check_overlay_consistency(self.stationary_layer)
+            _sanitize.check_overlay_consistency(self.mobile_layer)
         self._proximity = proximity
 
         # --- location management ---------------------------------------------
@@ -465,6 +469,8 @@ class BristleNetwork:
         m.histogram("ldt.fanout").observe_many(
             len(n.children) for n in tree.nodes.values() if n.children
         )
+        if _sanitize.ACTIVE:
+            _sanitize.check_ldt(tree, self.config.unit_advertise_cost)
         return tree
 
     # ------------------------------------------------------------------
@@ -547,6 +553,8 @@ class BristleNetwork:
             issued += 1
         tel.metrics.counter("op.join.count").inc()
         tel.metrics.histogram("op.join.registrations").observe(issued)
+        if _sanitize.ACTIVE:
+            _sanitize.check_overlay_consistency(self.mobile_layer, key)
         if sid:
             tel.tracer.span_end(self.now, sid, registrations=issued)
         return node
@@ -578,6 +586,8 @@ class BristleNetwork:
         tel.metrics.counter("op.leave.count").inc()
         tel.metrics.counter("overlay.mobile.remove_node").inc()
         tel.metrics.histogram("op.leave.unregistrations").observe(withdrawn)
+        if _sanitize.ACTIVE:
+            _sanitize.check_overlay_consistency(self.mobile_layer, key)
         if sid:
             tel.tracer.span_end(self.now, sid, unregistrations=withdrawn)
 

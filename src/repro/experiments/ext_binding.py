@@ -159,6 +159,10 @@ def run_binding_cost(params: Optional[BindingCostParams] = None) -> ResultTable:
             # Latency scaled so a wave completes in ≪ the mean inter-move
             # gap (raw path weights are O(100) vs a horizon of O(100)).
             proto = BristleProtocol(net, engine, latency_scale=1e-3)
+            # Counter registries may be shared across experiments (ambient
+            # telemetry session), so measure advertisement traffic as a
+            # delta from here rather than an absolute value.
+            advert_base = proto.metrics.counter("messages.advertise").value
             on_move = None
             if policy_name == "early":
                 on_move = lambda rep: proto.advertise(rep.key)  # noqa: E731
@@ -198,7 +202,9 @@ def run_binding_cost(params: Optional[BindingCostParams] = None) -> ResultTable:
                 if cached is not None and cached.addr == net.nodes[mk].address:
                     current += 1
             engine.run(until=p.horizon)
-            advert_msgs = proto.metrics.counter("messages.advertise").value
+            advert_msgs = (
+                proto.metrics.counter("messages.advertise").value - advert_base
+            )
             results[policy_name] = {
                 "messages": policy.stats.total_messages + advert_msgs,
                 "current": current / n_lookups,

@@ -23,6 +23,7 @@ import numpy as np
 from ..core.bristle import BristleNetwork
 from ..core.config import BristleConfig
 from .common import ResultTable
+from .parallel import derive_point_seed
 
 __all__ = ["ReliabilityParams", "run_replication_reliability"]
 
@@ -63,7 +64,9 @@ def run_replication_reliability(
         load_means = []
         for trial in range(p.trials):
             cfg = BristleConfig(
-                seed=p.seed + trial, naming="scrambled", replication=k
+                seed=derive_point_seed(p.seed, (k, trial)),
+                naming="scrambled",
+                replication=k,
             )
             net = BristleNetwork(
                 cfg, p.num_stationary, p.num_mobile, router_count=150

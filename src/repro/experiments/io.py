@@ -15,6 +15,7 @@ import json
 import os
 from typing import Any, Dict, Mapping
 
+from .. import sanitize as _sanitize
 from .common import ResultTable
 from .manifest import validate_manifest
 
@@ -115,6 +116,8 @@ def write_manifest(payload: Mapping[str, Any], path: str) -> None:
     writing an artifact that downstream schema checks would reject.
     """
     validate_manifest(dict(payload))
+    if _sanitize.ACTIVE:
+        _sanitize.check_manifest_roundtrip(payload)
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, allow_nan=False, default=_jsonify)
         fh.write("\n")

@@ -98,6 +98,7 @@ def build_manifest(
     payload: Dict[str, Any] = {
         "kind": MANIFEST_KIND,
         "schema_version": MANIFEST_SCHEMA_VERSION,
+        # repro-lint: disable=BRS002 run-provenance timestamp, not simulation time
         "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "experiments": list(experiments),
         "scale": scale,

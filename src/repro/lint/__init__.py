@@ -1,0 +1,39 @@
+"""Repo-specific static analysis: the determinism & protocol-invariant linter.
+
+``python -m repro.lint`` runs ~6 AST-based checks (stdlib :mod:`ast` only)
+that encode the invariants this reproduction's results rest on — seeded
+randomness, virtual-time discipline, telemetry span pairing, fork-safety
+of sweep workers, order-stable RNG populations, and the per-point seed
+derivation rules.  See docs/static-analysis.md for the rule catalogue and
+the rationale tying each rule back to the paper.
+
+Violations can be suppressed inline with a written reason::
+
+    datetime.now(...)  # repro-lint: disable=BRS002 provenance timestamp
+
+The suppression *must* carry a reason; a bare ``disable=`` comment is
+itself reported (BRS000).
+"""
+
+from .engine import (
+    LintReport,
+    Violation,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    report_as_dict,
+)
+from .rules import RULES, Rule
+
+__all__ = [
+    "LintReport",
+    "Violation",
+    "Rule",
+    "RULES",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "report_as_dict",
+]

@@ -1,0 +1,269 @@
+"""Linter engine: file walking, suppression handling, and reporting.
+
+The engine is deliberately small: it parses each file once with
+:mod:`ast`, hands the tree to every registered rule (see
+:mod:`repro.lint.rules`), then filters the collected violations through
+the inline-suppression table.  Everything a rule needs — the tree, the
+raw source lines, the dotted module path — travels in one
+:class:`FileContext`, so rules stay pure functions of the file.
+
+Suppression syntax (the reason is mandatory)::
+
+    expr()  # repro-lint: disable=BRS001 fixture exercises the bad API
+    # repro-lint: disable=BRS002,BRS006 reason text     (whole next line)
+
+A comment-only suppression line applies to the next source line, so
+multi-line statements can be suppressed without trailing comments.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import os
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Violation",
+    "FileContext",
+    "LintReport",
+    "iter_python_files",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "report_as_dict",
+]
+
+#: Pseudo-rule reported when a suppression comment carries no reason.
+SUPPRESSION_CODE = "BRS000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)(.*)$"
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One rule hit: where it is and what discipline it breaks."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation (one array entry in the report)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` — editor-clickable."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclasses.dataclass
+class FileContext:
+    """Everything a rule may inspect about one file."""
+
+    path: str
+    module: Tuple[str, ...]
+    tree: ast.Module
+    source_lines: List[str]
+
+    def in_packages(self, *packages: str) -> bool:
+        """True when the file lives under ``repro.<package>`` for any given
+        package name (``core``, ``overlay``, ``experiments``, ...)."""
+        if len(self.module) < 2 or self.module[0] != "repro":
+            return False
+        return self.module[1] in packages
+
+    def is_module(self, *parts: str) -> bool:
+        """True when the dotted module path equals ``parts`` exactly."""
+        return self.module == parts
+
+
+@dataclasses.dataclass
+class LintReport:
+    """Aggregate result of one lint run."""
+
+    files: int
+    violations: List[Violation]
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def counts(self) -> Dict[str, int]:
+        """Violation count per rule code, sorted by code."""
+        out: Dict[str, int] = {}
+        for v in sorted(self.violations, key=lambda v: v.rule):
+            out[v.rule] = out.get(v.rule, 0) + 1
+        return out
+
+
+def _module_parts(path: str) -> Tuple[str, ...]:
+    """Best-effort dotted module path: everything from the last ``repro``
+    path segment on (``src/repro/core/ldt.py`` → ``("repro","core","ldt")``).
+
+    Files outside a ``repro`` tree (tests, benchmarks) keep their own
+    trailing segments so path-scoped rules simply never match them.
+    """
+    norm = path.replace(os.sep, "/")
+    parts = [p for p in norm.split("/") if p and p != "."]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if "repro" in parts:
+        parts = parts[len(parts) - 1 - parts[::-1].index("repro"):]
+    return tuple(parts)
+
+
+def _parse_suppressions(
+    source_lines: Sequence[str], path: str
+) -> Tuple[Dict[int, Set[str]], List[Violation]]:
+    """Scan source lines for suppression comments.
+
+    Returns ``line → {codes}`` (comment-only lines also cover the next
+    line) plus the BRS000 violations for reasonless suppressions.
+    """
+    table: Dict[int, Set[str]] = {}
+    problems: List[Violation] = []
+    for lineno, line in enumerate(source_lines, start=1):
+        m = _SUPPRESS_RE.search(line)
+        if m is None:
+            continue
+        codes = {c.strip() for c in m.group(1).split(",")}
+        reason = m.group(2).strip()
+        if not reason:
+            problems.append(
+                Violation(
+                    rule=SUPPRESSION_CODE,
+                    path=path,
+                    line=lineno,
+                    col=line.index("#"),
+                    message="suppression comment must state a reason "
+                    "(# repro-lint: disable=BRS00X <why>)",
+                )
+            )
+            continue
+        table.setdefault(lineno, set()).update(codes)
+        if line.lstrip().startswith("#"):
+            # Comment-only line: the suppression targets the next line.
+            table.setdefault(lineno + 1, set()).update(codes)
+    return table, problems
+
+
+def _selected_rules(
+    select: Optional[Iterable[str]], ignore: Optional[Iterable[str]]
+) -> List["Rule"]:
+    from .rules import RULES
+
+    codes = set(select) if select else set(RULES)
+    if ignore:
+        codes -= set(ignore)
+    unknown = codes - set(RULES)
+    if unknown:
+        raise ValueError(f"unknown rule code(s): {sorted(unknown)}")
+    return [RULES[c] for c in sorted(codes)]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Violation]:
+    """Lint one source string as though it lived at ``path``.
+
+    ``path`` drives the path-scoped rules (BRS002 only fires under
+    ``repro/core|overlay|experiments``), which is what the fixture tests
+    exploit: the same snippet can be checked in and out of scope.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                rule="PARSE",
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    lines = source.splitlines()
+    ctx = FileContext(
+        path=path, module=_module_parts(path), tree=tree, source_lines=lines
+    )
+    suppressions, problems = _parse_suppressions(lines, path)
+    found: List[Violation] = list(problems)
+    for rule in _selected_rules(select, ignore):
+        for v in rule.check(ctx):
+            if v.rule not in suppressions.get(v.line, ()):
+                found.append(v)
+    return sorted(found, key=lambda v: (v.line, v.col, v.rule))
+
+
+def lint_file(
+    path: str,
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Violation]:
+    """Lint one file on disk."""
+    with open(path, encoding="utf-8") as fh:
+        return lint_source(fh.read(), path, select=select, ignore=ignore)
+
+
+#: Directory names never descended into.
+SKIP_DIRS = {"__pycache__", ".git", ".pytest_cache", "build", "dist"}
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield every ``.py`` file under ``paths`` (files pass through as-is),
+    in sorted order so reports are stable across filesystems."""
+    for target in paths:
+        if os.path.isfile(target):
+            yield target
+            continue
+        for dirpath, dirnames, filenames in os.walk(target):
+            dirnames[:] = sorted(
+                d for d in dirnames if d not in SKIP_DIRS and not d.startswith(".")
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Lint every Python file under ``paths``; the CLI's workhorse."""
+    files = 0
+    violations: List[Violation] = []
+    for path in iter_python_files(paths):
+        files += 1
+        violations.extend(lint_file(path, select=select, ignore=ignore))
+    return LintReport(files=files, violations=violations)
+
+
+def report_as_dict(report: LintReport) -> Dict[str, object]:
+    """The machine-readable (CI artifact) form of a lint run."""
+    return {
+        "kind": "repro-lint-report",
+        "version": 1,
+        "files": report.files,
+        "violation_count": len(report.violations),
+        "counts": report.counts(),
+        "violations": [v.as_dict() for v in report.violations],
+    }

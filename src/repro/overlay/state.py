@@ -18,6 +18,7 @@ import dataclasses
 import math
 from typing import Dict, Iterator, List, Optional
 
+from .. import sanitize as _sanitize
 from ..net.address import NetworkAddress
 from .keyspace import KeySpace
 
@@ -69,6 +70,8 @@ class StatePair:
 
     def refresh(self, now: float, addr: Optional[NetworkAddress] = None, ttl: Optional[float] = None) -> None:
         """Renew the lease, optionally updating address and TTL."""
+        if _sanitize.ACTIVE:
+            _sanitize.check_lease_refresh(self, now, ttl)
         self.refreshed_at = now
         if addr is not None:
             self.addr = addr
