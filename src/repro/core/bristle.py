@@ -218,6 +218,9 @@ class BristleNetwork:
             "overlay.build", layer="mobile", members=num_stationary + num_mobile
         ):
             self.mobile_layer.build(self.stationary_keys + self.mobile_keys)
+        # Churn repairs report overlay.repairs / overlay.repaired_nodes here.
+        self.stationary_layer.bind_metrics(self.telemetry.metrics)
+        self.mobile_layer.bind_metrics(self.telemetry.metrics)
         if _sanitize.ACTIVE:
             _sanitize.check_overlay_consistency(self.stationary_layer)
             _sanitize.check_overlay_consistency(self.mobile_layer)

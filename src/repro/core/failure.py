@@ -57,6 +57,12 @@ class FailureDetector:
     on_suspect:
         Optional callback invoked with each :class:`Suspicion` (fired
         once per (monitor, suspect) pair).
+    evict_from_overlay:
+        When true, the first detection of a failed node also removes it
+        from the mobile layer through the overlay's incremental
+        ``remove_node`` path, so the surviving members' routing state is
+        repaired in place (counted by ``evictions``) instead of pointing
+        at a dead peer until the next full rebuild.
     """
 
     def __init__(
@@ -67,6 +73,7 @@ class FailureDetector:
         period: float = 10.0,
         miss_threshold: int = 2,
         on_suspect: Optional[Callable[[Suspicion], None]] = None,
+        evict_from_overlay: bool = False,
     ) -> None:
         if period <= 0:
             raise ValueError("period must be positive")
@@ -77,10 +84,12 @@ class FailureDetector:
         self.period = period
         self.miss_threshold = miss_threshold
         self.on_suspect = on_suspect
+        self.evict_from_overlay = evict_from_overlay
         self.metrics = MetricsRegistry()
         self._failed: Dict[int, float] = {}  # node → failure time
         self._misses: Dict[Tuple[int, int], int] = {}
         self._suspected: Set[Tuple[int, int]] = set()
+        self._evicted: Set[int] = set()
         self.suspicions: List[Suspicion] = []
         self._cancel: Optional[Callable[[], None]] = None
 
@@ -96,6 +105,7 @@ class FailureDetector:
     def recover(self, node: int) -> None:
         """Node answers again; standing suspicions against it clear."""
         self._failed.pop(node, None)
+        self._evicted.discard(node)
         for pair in [p for p in self._suspected if p[1] == node]:
             self._suspected.discard(pair)
             self._misses.pop(pair, None)
@@ -124,6 +134,7 @@ class FailureDetector:
     def _round(self) -> None:
         overlay = self.net.mobile_layer
         now = self.engine.now
+        newly_detected: List[int] = []
         for key in overlay.keys:
             monitor = int(key)
             if monitor in self._failed:
@@ -148,8 +159,19 @@ class FailureDetector:
                         )
                         if self.on_suspect is not None:
                             self.on_suspect(suspicion)
+                        newly_detected.append(peer)
                 else:
                     self._misses.pop(pair, None)
+        if self.evict_from_overlay and newly_detected:
+            # Applied after the heartbeat sweep so eviction never mutates
+            # the membership array mid-iteration.  Each failed node is
+            # evicted once, through the incremental repair path.
+            for peer in newly_detected:
+                if peer in self._evicted or not overlay.is_member(peer):
+                    continue
+                overlay.remove_node(peer)
+                self._evicted.add(peer)
+                self.metrics.counter("evictions").inc()
 
     # ------------------------------------------------------------------
     # Queries

@@ -42,6 +42,10 @@ class JoinReport:
     registrations_sent: int  # i → k ("i registers itself to k")
     registrations_received: int  # r → i ("r registers itself to i")
     state_size: int
+    #: members whose routing state the overlay's incremental admission
+    #: repaired (the maintenance cost §2.3 attributes to a join; 0 when
+    #: the overlay fell back to a full rebuild before repairs existed).
+    overlay_repaired_nodes: int = 0
 
     @property
     def messages(self) -> int:
@@ -93,7 +97,10 @@ def figure5_join(
     # (join_mobile_node also performs reciprocal registrations with the
     # overlay neighbours; the Figure-5 walk below additionally populates
     # the newcomer's state table with the proximity-filtered candidates.)
+    repaired_counter = net.telemetry.metrics.counter("overlay.repaired_nodes")
+    repaired_before = repaired_counter.value
     node = net.join_mobile_node(key, capacity=capacity)
+    overlay_repaired = repaired_counter.value - repaired_before
 
     registrations_sent = 0
     registrations_received = 0
@@ -160,4 +167,5 @@ def figure5_join(
         registrations_sent=registrations_sent,
         registrations_received=registrations_received,
         state_size=len(node.state),
+        overlay_repaired_nodes=overlay_repaired,
     )

@@ -262,7 +262,21 @@ def route_preferring_resolved(
         if nxt is None:
             nxt = overlay.next_hop(current, target_key)
             if nxt is None or nxt in seen:
-                break
+                # Dead end under the progress measure: attempt the same
+                # ring-distance sideways hop toward the owner that
+                # ``Overlay.route_avoiding`` uses, so the two policies
+                # report comparable failures instead of this one silently
+                # giving up first.
+                nxt = None
+                cur_ring = overlay.space.ring_distance(current, owner)
+                for cand in overlay.neighbors_of(current):
+                    if cand in seen:
+                        continue
+                    if overlay.space.ring_distance(cand, owner) < cur_ring:
+                        nxt = cand
+                        break
+                if nxt is None:
+                    break
         needs_resolution = (
             net.is_mobile(nxt)
             and p_stale > 0.0

@@ -23,11 +23,20 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..core.routing import route_with_resolution
+from ..overlay.factory import OVERLAY_NAMES, make_overlay
+from ..overlay.keyspace import KeySpace
+from ..sim.metrics import MetricsRegistry
+from ..sim.rng import RngStreams
 from ..workloads.churn import ChurnEventType, poisson_churn
 from ..workloads.scenarios import build_comparison_scenario
 from .common import ResultTable
 
-__all__ = ["ChurnOverheadParams", "run_churn_overhead"]
+__all__ = [
+    "ChurnOverheadParams",
+    "MembershipChurnParams",
+    "run_churn_overhead",
+    "run_membership_churn",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -120,6 +129,85 @@ def run_churn_overhead(params: Optional[ChurnOverheadParams] = None) -> ResultTa
                 "Bristle cost": float(np.mean(bristle_costs))
                 if bristle_costs
                 else float("nan"),
+            }
+        )
+    return table
+
+
+@dataclasses.dataclass(frozen=True)
+class MembershipChurnParams:
+    num_nodes: int = 256
+    events: int = 200
+    seed: int = 47
+    overlays: Sequence[str] = OVERLAY_NAMES
+
+
+def run_membership_churn(
+    params: Optional[MembershipChurnParams] = None,
+) -> ResultTable:
+    """Incremental repair cost of overlay membership churn, per substrate.
+
+    Each overlay absorbs the same seeded join/leave schedule through its
+    incremental ``add_node``/``remove_node`` path; the table reports the
+    ``overlay.repaired_nodes`` counter — how many members' routing state one
+    membership event touches — against the membership size ``N``.  The
+    §2.3.3 expectation is an ``O(log N)`` (CAN: ``O(d)``) fraction of the
+    overlay, which is what makes per-event repair beat a full rebuild.
+    """
+    p = params if params is not None else MembershipChurnParams()
+    table = ResultTable(
+        title="Extension — incremental repair cost under membership churn",
+        columns=[
+            "overlay",
+            "N",
+            "events",
+            "repairs",
+            "repaired nodes",
+            "repaired/event",
+            "repaired/event/N",
+        ],
+        notes=[
+            f"{p.num_nodes} initial members, {p.events} alternating "
+            "leave/join events per overlay; identical key schedule "
+            f"(seed {p.seed}) for every substrate",
+        ],
+    )
+    space = KeySpace(bits=32, digit_bits=4)
+    for name in p.overlays:
+        rng = RngStreams(p.seed)
+        keys = space.random_keys(rng, "membership.initial", p.num_nodes)
+        extra = space.random_keys(rng, "membership.joiners", p.events)
+        joiners = [int(k) for k in extra if int(k) not in set(keys.tolist())]
+        overlay = make_overlay(name, space)
+        metrics = MetricsRegistry()
+        overlay.bind_metrics(metrics)
+        overlay.build([int(k) for k in keys])
+        gen = rng.stream("membership.schedule")
+        members = sorted(int(k) for k in keys)
+        performed = 0
+        for i in range(p.events):
+            if i % 2 == 0 and len(members) > 2:
+                victim = members.pop(int(gen.integers(len(members))))
+                overlay.remove_node(victim)
+                performed += 1
+            elif joiners:
+                newcomer = joiners.pop()
+                overlay.add_node(newcomer)
+                members.append(newcomer)
+                members.sort()
+                performed += 1
+        repairs = metrics.counter("overlay.repairs").value
+        repaired = metrics.counter("overlay.repaired_nodes").value
+        per_event = repaired / performed if performed else 0.0
+        table.add_row(
+            **{
+                "overlay": name,
+                "N": p.num_nodes,
+                "events": performed,
+                "repairs": repairs,
+                "repaired nodes": repaired,
+                "repaired/event": per_event,
+                "repaired/event/N": per_event / p.num_nodes,
             }
         )
     return table

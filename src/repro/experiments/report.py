@@ -15,7 +15,7 @@ from .bounds import run_eq1_check, run_hop_scaling, run_ldt_depth_scaling
 from .common import ResultTable
 from .ext_advertisement import run_advertisement_latency
 from .ext_binding import run_binding_cost, run_staleness_sweep
-from .ext_churn import run_churn_overhead
+from .ext_churn import run_churn_overhead, run_membership_churn
 from .ext_data import run_data_availability
 from .ext_naming import run_band_placement
 from .ext_overlay_choice import run_ipv6_route_optimisation, run_overlay_choice
@@ -129,6 +129,10 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[str], ResultTable]]] = {
     "ext-churn": (
         "Extension — maintenance overhead vs mobility rate",
         lambda s: run_churn_overhead(),
+    ),
+    "ext-churn-repair": (
+        "Extension — incremental repair cost under membership churn",
+        lambda s: run_membership_churn(),
     ),
     "ext-adaptive": (
         "Extension — greedy vs adaptive routing under failures",

@@ -607,6 +607,50 @@ class SeedArithmetic(Rule):
         yield from visit(ctx.tree)
 
 
+# ----------------------------------------------------------------------
+# BRS007 — full rebuild hiding inside an incremental repair hook
+# ----------------------------------------------------------------------
+_REPAIR_HOOKS = {"_on_add", "_on_remove"}
+
+
+class RebuildInRepairHook(Rule):
+    """BRS007: overlay ``_on_add``/``_on_remove`` overrides must repair
+    incrementally — calling ``_reset_state()`` there reintroduces the
+    O(N) per-event rebuild the churn path was optimised away from.  Only
+    the base-class fallback (``repro/overlay/base.py``) may do so."""
+
+    code = "BRS007"
+    name = "rebuild-in-repair-hook"
+    summary = (
+        "_on_add/_on_remove overrides must not call _reset_state(): that "
+        "is a hidden full rebuild per churn event (base.py fallback only)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Flag ``self._reset_state()`` calls inside repair-hook bodies."""
+        if ctx.is_module("repro", "overlay", "base"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in _REPAIR_HOOKS
+            ):
+                continue
+            for child in _walk_function_body(node):
+                if (
+                    isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Attribute)
+                    and child.func.attr == "_reset_state"
+                ):
+                    yield self.violation(
+                        ctx,
+                        child,
+                        f"{node.name}() calls _reset_state(): a full O(N) "
+                        "rebuild per churn event — repair the affected "
+                        "members in place (or defer to super() explicitly)",
+                    )
+
+
 #: Registry: code → rule instance, in code order.
 RULES: Dict[str, Rule] = {
     rule.code: rule
@@ -617,5 +661,6 @@ RULES: Dict[str, Rule] = {
         ForkUnsafeWorker(),
         UnorderedDrawPopulation(),
         SeedArithmetic(),
+        RebuildInRepairHook(),
     )
 }

@@ -22,11 +22,15 @@ from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional
 
 import numpy as np
 
+from .. import sanitize as _sanitize
 from .keyspace import KeySpace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..sim.metrics import MetricsRegistry
 
 __all__ = ["RouteResult", "Overlay", "ProximityFn", "RoutingError"]
 
@@ -85,21 +89,36 @@ class Overlay(abc.ABC):
     #: well under 100 hops.
     MAX_ROUTE_HOPS = 512
 
-    #: Cap on the owner-resolution memo (cleared wholesale when full, and on
-    #: every membership change).  Ownership is a pure function of the member
-    #: set, and routing asks for the same owner ~5 times per hop.
+    #: Cap on the owner-resolution memo (cleared wholesale when full).
+    #: Ownership is a pure function of the member set, and routing asks for
+    #: the same owner ~5 times per hop; membership changes evict only the
+    #: entries the change can actually divert (:meth:`_invalidate_owner_memo_add`
+    #: / :meth:`_invalidate_owner_memo_remove`).
     OWNER_MEMO_MAX = 1 << 17
 
     def __init__(self, space: KeySpace, proximity: Optional[ProximityFn] = None) -> None:
         self.space = space
         self.proximity = proximity
-        self._keys: np.ndarray = np.empty(0, dtype=np.uint64)  # sorted member keys
+        # Membership is a sorted uint64 array held in an amortised
+        # capacity-doubling buffer so per-event add/remove is a memmove of
+        # the tail, not a fresh O(N) allocation (np.insert/np.delete).
+        self._key_buf: np.ndarray = np.empty(0, dtype=np.uint64)
+        self._key_count: int = 0
         self._member_set: set = set()
         self._owner_memo: Dict[int, int] = {}
+        #: reverse index owner -> memoised targets, enabling targeted
+        #: eviction of exactly the entries a membership change can divert.
+        self._memo_owners: Dict[int, List[int]] = {}
+        self._metrics: Optional["MetricsRegistry"] = None
 
     # ------------------------------------------------------------------
     # Membership
     # ------------------------------------------------------------------
+    @property
+    def _keys(self) -> np.ndarray:
+        """Sorted member keys (a view into the amortised buffer)."""
+        return self._key_buf[: self._key_count]
+
     @property
     def keys(self) -> np.ndarray:
         """Sorted array of member keys."""
@@ -107,23 +126,72 @@ class Overlay(abc.ABC):
 
     @property
     def num_nodes(self) -> int:
-        return int(self._keys.size)
+        return self._key_count
 
     def is_member(self, key: int) -> bool:
         """True when ``key`` is a current member."""
         return key in self._member_set
 
-    def build(self, keys: Iterable[int]) -> None:
-        """Oracle-build the overlay over ``keys`` (replaces any prior state)."""
+    def bind_metrics(self, metrics: Optional["MetricsRegistry"]) -> None:
+        """Attach a metrics registry; churn repairs then record
+        ``overlay.repairs`` / ``overlay.repaired_nodes`` counters there."""
+        self._metrics = metrics
+
+    def _record_repair(self, repaired_nodes: int) -> None:
+        """Count one churn-repair event touching ``repaired_nodes`` members."""
+        m = self._metrics
+        if m is None:
+            from ..sim.telemetry import active_telemetry
+
+            tel = active_telemetry()
+            if tel is None:
+                return
+            m = tel.metrics
+        m.counter("overlay.repairs").inc()
+        m.counter("overlay.repaired_nodes").inc(int(repaired_nodes))
+
+    def build(self, keys: Iterable[int], *, bulk: bool = True) -> None:
+        """Oracle-build the overlay over ``keys`` (replaces any prior state).
+
+        ``bulk=True`` (the default) routes through :meth:`_build_all`, which
+        overlays may vectorise; ``bulk=False`` forces the per-node reference
+        path (used by parity tests).
+        """
         key_list = sorted({self.space.validate(int(k)) for k in keys})
         if not key_list:
             raise ValueError("cannot build an overlay with no members")
-        self._keys = np.asarray(key_list, dtype=np.uint64)
+        self._key_buf = np.asarray(key_list, dtype=np.uint64)
+        self._key_count = len(key_list)
         self._member_set = set(key_list)
         self._owner_memo.clear()
+        self._memo_owners.clear()
         self._reset_state()
-        for k in key_list:
-            self._build_node(k)
+        if bulk:
+            self._build_all()
+        else:
+            for k in key_list:
+                self._build_node(k)
+
+    def _insert_key(self, key: int) -> int:
+        """Insert ``key`` into the sorted buffer; return its index."""
+        n = self._key_count
+        if n == self._key_buf.size:
+            grown = np.empty(max(16, 2 * self._key_buf.size), dtype=np.uint64)
+            grown[:n] = self._key_buf[:n]
+            self._key_buf = grown
+        idx = int(np.searchsorted(self._key_buf[:n], np.uint64(key)))
+        self._key_buf[idx + 1 : n + 1] = self._key_buf[idx:n]
+        self._key_buf[idx] = np.uint64(key)
+        self._key_count = n + 1
+        return idx
+
+    def _delete_key(self, key: int) -> int:
+        """Delete ``key`` from the sorted buffer; return its old index."""
+        n = self._key_count
+        idx = int(np.searchsorted(self._key_buf[:n], np.uint64(key)))
+        self._key_buf[idx : n - 1] = self._key_buf[idx + 1 : n]
+        self._key_count = n - 1
+        return idx
 
     def add_node(self, key: int) -> None:
         """Incrementally admit ``key`` and repair affected routing state."""
@@ -131,10 +199,11 @@ class Overlay(abc.ABC):
         if key in self._member_set:
             raise ValueError(f"key {key} is already a member")
         self._member_set.add(key)
-        idx = int(np.searchsorted(self._keys, key))
-        self._keys = np.insert(self._keys, idx, np.uint64(key))
-        self._owner_memo.clear()
+        self._insert_key(key)
+        self._invalidate_owner_memo_add(key)
         self._on_add(key)
+        if _sanitize.ACTIVE:
+            _sanitize.check_overlay_consistency(self, key)
 
     def remove_node(self, key: int) -> None:
         """Remove ``key`` and repair affected routing state."""
@@ -143,10 +212,11 @@ class Overlay(abc.ABC):
         if len(self._member_set) == 1:
             raise ValueError("cannot remove the last member")
         self._member_set.remove(key)
-        idx = int(np.searchsorted(self._keys, key))
-        self._keys = np.delete(self._keys, idx)
-        self._owner_memo.clear()
+        self._delete_key(key)
+        self._invalidate_owner_memo_remove(key)
         self._on_remove(key)
+        if _sanitize.ACTIVE:
+            _sanitize.check_overlay_consistency(self, key)
 
     # ------------------------------------------------------------------
     # Ownership and routing
@@ -156,21 +226,67 @@ class Overlay(abc.ABC):
 
         The paper's storage rule (§1): "store a data item with a hash key k
         in a peer node whose hash key is the closest to k."  Ownership is a
-        pure function of the member set, so the answer is memoized here (the
-        memo is invalidated on every membership change); subclasses override
+        pure function of the member set, so the answer is memoized here
+        (membership changes evict exactly the entries they can divert,
+        keeping the memo warm across churn); subclasses override
         :meth:`_compute_owner` with their storage rule instead of this.
         """
         cached = self._owner_memo.get(key)
         if cached is not None:
             return cached
         self.space.validate(key)
-        if self._keys.size == 0:
+        if self._key_count == 0:
             raise RuntimeError("overlay has no members")
         owner = self._compute_owner(key)
         if len(self._owner_memo) >= self.OWNER_MEMO_MAX:
             self._owner_memo.clear()
+            self._memo_owners.clear()
         self._owner_memo[key] = owner
+        self._memo_owners.setdefault(owner, []).append(key)
         return owner
+
+    def _evict_owner_group(self, owner: int) -> None:
+        """Drop every memo entry currently resolving to ``owner``."""
+        group = self._memo_owners.pop(owner, None)
+        if not group:
+            return
+        memo = self._owner_memo
+        for target in group:
+            if memo.get(target) == owner:
+                del memo[target]
+
+    def _invalidate_owner_memo_add(self, key: int) -> None:
+        """Evict memo entries an admission of ``key`` can divert.
+
+        Under the default ring-nearest storage rule a new member only steals
+        keys from its two ring neighbours, so those two owner groups are the
+        only stale entries (Chord's successor rule is covered too: the old
+        owner of any diverted key is the new key's successor).  Overlays
+        with a non-local :meth:`_compute_owner` (e.g. CAN's zones, Tapestry's
+        surrogate descent) must override this alongside it.
+
+        Called with the membership already updated (``key`` is in
+        :attr:`keys`).
+        """
+        keys = self._keys
+        n = int(keys.size)
+        if n <= 1:
+            self._owner_memo.clear()
+            self._memo_owners.clear()
+            return
+        idx = int(np.searchsorted(keys, np.uint64(key)))
+        self._evict_owner_group(int(keys[(idx - 1) % n]))
+        self._evict_owner_group(int(keys[(idx + 1) % n]))
+
+    def _invalidate_owner_memo_remove(self, key: int) -> None:
+        """Evict memo entries a departure of ``key`` can divert.
+
+        Removing a member can only re-home the keys that member owned: for
+        every storage rule in this package, an owner other than ``key``
+        keeps winning over any subset of the membership that still contains
+        it.  Evicting ``key``'s own group is therefore exact.
+        """
+        self._evict_owner_group(key)
 
     def _compute_owner(self, key: int) -> int:
         """The storage rule: ring-nearest by default; Chord uses successor,
@@ -254,21 +370,34 @@ class Overlay(abc.ABC):
     def _build_node(self, key: int) -> None:
         """Compute routing state for member ``key`` from the member array."""
 
+    def _build_all(self) -> None:
+        """Build routing state for every member at once.
+
+        The default is the per-node reference loop; overlays override with
+        a vectorised bulk construction that must produce bit-identical
+        state (asserted by the contract tests).
+        """
+        for k in self._keys.tolist():
+            self._build_node(int(k))
+
     def _on_add(self, key: int) -> None:
         """Repair state after ``key`` joined; default rebuilds everything.
 
-        Subclasses override with targeted repairs; the default is correct
-        but O(N log N).
+        Subclasses override with targeted repairs (and report their cost
+        through :meth:`_record_repair`); the default is correct but
+        O(N log N) per event.
         """
         self._reset_state()
         for k in self._member_set:
             self._build_node(int(k))
+        self._record_repair(len(self._member_set))
 
     def _on_remove(self, key: int) -> None:
         """Repair state after ``key`` left; default rebuilds everything."""
         self._reset_state()
         for k in self._member_set:
             self._build_node(int(k))
+        self._record_repair(len(self._member_set))
 
     def route_avoiding(
         self, source: int, target: int, avoid: "set[int]"

@@ -21,7 +21,9 @@ the paper's log-N overlays are preferred.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
 
 from .base import Overlay, RouteResult, RoutingError
 from .keyspace import KeySpace
@@ -82,6 +84,30 @@ class Zone:
         return touching_axis is not None
 
 
+class _ZoneNode:
+    """One node of the k-d zone trie.
+
+    Leaves (``lo is None``) hold a box of the tessellation: ``count == 1``
+    for a member's home box, ``count == 0`` for an empty half annexed by
+    ``owner``.  Internal nodes cache the split geometry plus subtree
+    aggregates (member ``count``, minimum member key) so churn events can
+    walk a single root-to-leaf path instead of re-tessellating.
+    """
+
+    __slots__ = ("zone", "depth", "axis", "mid", "lo", "hi", "owner", "count", "min_key")
+
+    def __init__(self, zone: Zone, depth: int) -> None:
+        self.zone = zone
+        self.depth = depth
+        self.axis = -1
+        self.mid = -1
+        self.lo: Optional["_ZoneNode"] = None
+        self.hi: Optional["_ZoneNode"] = None
+        self.owner: int = -1
+        self.count: int = 0
+        self.min_key: Optional[int] = None
+
+
 class CANOverlay(Overlay):
     """CAN with a deterministic k-d-trie zone tessellation.
 
@@ -105,6 +131,8 @@ class CANOverlay(Overlay):
         #: member key → the boxes forming its zone
         self._zone_boxes: Dict[int, List[Zone]] = {}
         self._neighbors: Dict[int, List[int]] = {}
+        #: k-d trie over the member points; tessellation source of truth
+        self._root: Optional[_ZoneNode] = None
 
     # ------------------------------------------------------------------
     # Coordinates
@@ -130,38 +158,16 @@ class CANOverlay(Overlay):
     def _reset_state(self) -> None:
         self._zone_boxes.clear()
         self._neighbors.clear()
+        self._root = None
         if self._keys.size == 0:
             return
         members = [(int(k), self.point_of(int(k))) for k in self._keys]
         full = Zone(start=(0,) * self.dims, size=(self.axis_extent,) * self.dims)
         self._zone_boxes = {k: [] for k, _ in members}
-        self._split(full, members, depth=0)
-        keys = [k for k, _ in members]
-        for a in keys:
-            nbrs = []
-            for b in keys:
-                if b == a:
-                    continue
-                if self._zones_adjacent(a, b):
-                    nbrs.append(b)
-            self._neighbors[a] = sorted(nbrs)
+        self._root = self._build_trie(full, members, depth=0)
 
-    def _zones_adjacent(self, a: int, b: int) -> bool:
-        for za in self._zone_boxes[a]:
-            for zb in self._zone_boxes[b]:
-                if za.abuts(zb, self.axis_extent):
-                    return True
-        return False
-
-    def _split(
-        self,
-        zone: Zone,
-        members: List[Tuple[int, Tuple[int, ...]]],
-        depth: int,
-    ) -> None:
-        if len(members) == 1:
-            self._zone_boxes[members[0][0]].append(zone)
-            return
+    def _choose_axis(self, zone: Zone, depth: int) -> int:
+        """The split axis at ``depth`` (cyclic, skipping exhausted axes)."""
         axis = depth % self.dims
         if zone.size[axis] == 1:
             for off in range(1, self.dims + 1):
@@ -171,6 +177,30 @@ class CANOverlay(Overlay):
                     break
             else:  # pragma: no cover - distinct keys ⇒ distinct points
                 raise RoutingError("cannot split a unit zone with >1 member")
+        return axis
+
+    def _make_leaf(self, zone: Zone, depth: int, owner: int, count: int) -> _ZoneNode:
+        node = _ZoneNode(zone, depth)
+        node.owner = owner
+        node.count = count
+        node.min_key = owner if count else None
+        self._zone_boxes.setdefault(owner, []).append(zone)
+        return node
+
+    def _build_trie(
+        self,
+        zone: Zone,
+        members: List[Tuple[int, Tuple[int, ...]]],
+        depth: int,
+    ) -> _ZoneNode:
+        """Tessellate ``zone`` over ``members``: cells split cyclically by
+        dimension until each holds one member; an empty half becomes a
+        count-0 leaf annexed by the lowest-keyed occupant of the other
+        half (deterministic; keeps the tessellation complete, mirroring
+        CAN's zone-takeover on departure)."""
+        if len(members) == 1:
+            return self._make_leaf(zone, depth, members[0][0], count=1)
+        axis = self._choose_axis(zone, depth)
         half = zone.size[axis] // 2
         mid = zone.start[axis] + half
         lo_zone = Zone(
@@ -183,24 +213,301 @@ class CANOverlay(Overlay):
         )
         lo = [(k, p) for k, p in members if p[axis] < mid]
         hi = [(k, p) for k, p in members if p[axis] >= mid]
+        node = _ZoneNode(zone, depth)
+        node.axis = axis
+        node.mid = mid
         if not lo:
-            # The empty half is annexed by the lowest-keyed occupant of
-            # the other half (deterministic; keeps the tessellation
-            # complete, mirroring CAN's zone-takeover on departure).
-            annex = min(hi)[0]
-            self._zone_boxes[annex].append(lo_zone)
-            self._split(hi_zone, hi, depth + 1)
-            return
-        if not hi:
-            annex = min(lo)[0]
-            self._zone_boxes[annex].append(hi_zone)
-            self._split(lo_zone, lo, depth + 1)
-            return
-        self._split(lo_zone, lo, depth + 1)
-        self._split(hi_zone, hi, depth + 1)
+            node.lo = self._make_leaf(lo_zone, depth + 1, min(hi)[0], count=0)
+            node.hi = self._build_trie(hi_zone, hi, depth + 1)
+        elif not hi:
+            node.lo = self._build_trie(lo_zone, lo, depth + 1)
+            node.hi = self._make_leaf(hi_zone, depth + 1, min(lo)[0], count=0)
+        else:
+            node.lo = self._build_trie(lo_zone, lo, depth + 1)
+            node.hi = self._build_trie(hi_zone, hi, depth + 1)
+        node.count = len(members)
+        node.min_key = min(k for k, _ in members)
+        return node
+
+    def _zones_adjacent(self, a: int, b: int) -> bool:
+        for za in self._zone_boxes[a]:
+            for zb in self._zone_boxes[b]:
+                if za.abuts(zb, self.axis_extent):
+                    return True
+        return False
 
     def _build_node(self, key: int) -> None:
-        # All state is global (the tessellation), computed in _reset_state.
+        # The tessellation is global (built in _reset_state); per-node state
+        # is the zone-face neighbour list.
+        nbrs = []
+        for other in self._zone_boxes:
+            if other != key and self._zones_adjacent(key, other):
+                nbrs.append(other)
+        self._neighbors[key] = sorted(nbrs)
+
+    # ------------------------------------------------------------------
+    # Vectorised adjacency (bulk build + targeted repair)
+    # ------------------------------------------------------------------
+    def _collect_box_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flatten the tessellation into (lo, hi, owner) arrays of shape
+        (B, d) / (B, d) / (B,) for vectorised face tests."""
+        lo: List[Tuple[int, ...]] = []
+        hi: List[Tuple[int, ...]] = []
+        owners: List[int] = []
+        for owner, boxes in self._zone_boxes.items():
+            for z in boxes:
+                lo.append(z.start)
+                hi.append(tuple(s + sz for s, sz in zip(z.start, z.size)))
+                owners.append(owner)
+        return (
+            np.asarray(lo, dtype=np.int64).reshape(len(lo), self.dims),
+            np.asarray(hi, dtype=np.int64).reshape(len(hi), self.dims),
+            np.asarray(owners, dtype=np.uint64),
+        )
+
+    @staticmethod
+    def _abuts_matrix(
+        lo_a: np.ndarray,
+        hi_a: np.ndarray,
+        lo_b: np.ndarray,
+        hi_b: np.ndarray,
+        extent: int,
+    ) -> np.ndarray:
+        """Pairwise :meth:`Zone.abuts` over two box sets: exactly one axis
+        with zero overlap that touches (possibly wrapping), all other axes
+        overlapping."""
+        overlap = np.minimum(hi_a[:, None, :], hi_b[None, :, :]) - np.maximum(
+            lo_a[:, None, :], lo_b[None, :, :]
+        )
+        ov = overlap > 0
+        touch = ((hi_a[:, None, :] % extent) == lo_b[None, :, :]) | (
+            (hi_b[None, :, :] % extent) == lo_a[:, None, :]
+        )
+        return (ov | touch).all(axis=2) & ((~ov).sum(axis=2) == 1)
+
+    def _build_all(self) -> None:
+        if self._keys.size == 0:
+            return
+        lo, hi, owners = self._collect_box_arrays()
+        nbr_sets: Dict[int, Set[int]] = {int(k): set() for k in self._keys.tolist()}
+        nboxes = int(owners.size)
+        chunk = max(1, (1 << 22) // max(1, nboxes * self.dims))
+        for s in range(0, nboxes, chunk):
+            e = min(s + chunk, nboxes)
+            abuts = self._abuts_matrix(lo[s:e], hi[s:e], lo, hi, self.axis_extent)
+            ia, ib = np.nonzero(abuts)
+            for oa, ob in zip(owners[ia + s].tolist(), owners[ib].tolist()):
+                if oa != ob:
+                    nbr_sets[oa].add(ob)
+        for k, nbrs in nbr_sets.items():
+            self._neighbors[k] = sorted(nbrs)
+
+    def _adjacent_owners(
+        self, key: int, arrays: Tuple[np.ndarray, np.ndarray, np.ndarray]
+    ) -> Set[int]:
+        """Owners with at least one box sharing a face with ``key``'s zone."""
+        lo, hi, owners = arrays
+        mine = owners == np.uint64(key)
+        if not mine.any():  # pragma: no cover - callers pass live members
+            return set()
+        abuts = self._abuts_matrix(lo[mine], hi[mine], lo, hi, self.axis_extent)
+        hit = abuts.any(axis=0) & ~mine
+        return {int(o) for o in np.unique(owners[hit]).tolist()}
+
+    # ------------------------------------------------------------------
+    # Incremental churn: trie path updates instead of re-tessellation
+    # ------------------------------------------------------------------
+    def _box_add(self, zone: Zone, owner: int) -> None:
+        self._zone_boxes.setdefault(owner, []).append(zone)
+
+    def _box_remove(self, zone: Zone, owner: int) -> None:
+        boxes = self._zone_boxes[owner]
+        boxes.remove(zone)
+        if not boxes:
+            del self._zone_boxes[owner]
+
+    def _box_move(self, zone: Zone, frm: int, to: int) -> None:
+        if frm == to:
+            return
+        self._box_remove(zone, frm)
+        self._box_add(zone, to)
+
+    def _subtree_leaves(self, node: _ZoneNode) -> List[_ZoneNode]:
+        if node.lo is None:
+            return [node]
+        return self._subtree_leaves(node.lo) + self._subtree_leaves(node.hi)
+
+    def _trie_add(
+        self,
+        node: _ZoneNode,
+        key: int,
+        point: Tuple[int, ...],
+        changed: Set[int],
+    ) -> _ZoneNode:
+        """Insert ``key`` below ``node``; returns the (possibly replaced)
+        subtree and accumulates owners whose zone changed."""
+        if node.lo is None:
+            if node.count == 0:
+                # A previously-annexed empty half gains its first occupant:
+                # the box transfers whole, no split (matches the oracle,
+                # which now recurses into a singleton half).
+                changed.add(node.owner)
+                changed.add(key)
+                self._box_move(node.zone, node.owner, key)
+                node.owner = key
+                node.count = 1
+                node.min_key = key
+                return node
+            # An occupied box splits: re-tessellate just this box over its
+            # two points — identical to the oracle's recursion there.
+            occupant = node.owner
+            changed.add(occupant)
+            changed.add(key)
+            self._box_remove(node.zone, occupant)
+            members = [(occupant, self.point_of(occupant)), (key, point)]
+            return self._build_trie(node.zone, members, node.depth)
+        into_lo = point[node.axis] < node.mid
+        child = node.lo if into_lo else node.hi
+        sibling = node.hi if into_lo else node.lo
+        new_child = self._trie_add(child, key, point, changed)
+        if into_lo:
+            node.lo = new_child
+        else:
+            node.hi = new_child
+        node.count += 1
+        node.min_key = key if node.min_key is None or key < node.min_key else node.min_key
+        # An empty-leaf sibling is annexed by the minimum key of this
+        # (occupied) side; the newcomer may now be that minimum.
+        if sibling.lo is None and sibling.count == 0:
+            new_owner = new_child.min_key
+            assert new_owner is not None
+            if sibling.owner != new_owner:
+                changed.add(sibling.owner)
+                changed.add(new_owner)
+                self._box_move(sibling.zone, sibling.owner, new_owner)
+                sibling.owner = new_owner
+        return node
+
+    def _trie_remove(
+        self,
+        node: _ZoneNode,
+        key: int,
+        point: Tuple[int, ...],
+        changed: Set[int],
+    ) -> _ZoneNode:
+        """Remove ``key`` below ``node`` (which must contain it)."""
+        if node.lo is None:
+            # The home leaf empties; the caller annexes the returned
+            # count-0 leaf into the surviving sibling's zone.
+            changed.add(key)
+            self._box_remove(node.zone, key)
+            node.owner = -1
+            node.count = 0
+            node.min_key = None
+            return node
+        if node.count - 1 == 1:
+            # One survivor below: the whole subtree collapses back to a
+            # single box, exactly as the oracle stops splitting at one
+            # member.
+            survivor = -1
+            for leaf in self._subtree_leaves(node):
+                if leaf.count:
+                    changed.add(leaf.owner)
+                    self._box_remove(leaf.zone, leaf.owner)
+                    if leaf.owner != key:
+                        survivor = leaf.owner
+                else:
+                    changed.add(leaf.owner)
+                    self._box_remove(leaf.zone, leaf.owner)
+            assert survivor != -1
+            changed.add(survivor)
+            return self._make_leaf(node.zone, node.depth, survivor, count=1)
+        into_lo = point[node.axis] < node.mid
+        child = node.lo if into_lo else node.hi
+        sibling = node.hi if into_lo else node.lo
+        new_child = self._trie_remove(child, key, point, changed)
+        if new_child.count == 0:
+            # The half emptied: annex it to the lowest-keyed occupant of
+            # the sibling half (the oracle's empty-half rule).
+            annex = sibling.min_key
+            assert annex is not None
+            new_child.owner = annex
+            self._box_add(new_child.zone, annex)
+            changed.add(annex)
+        if into_lo:
+            node.lo = new_child
+        else:
+            node.hi = new_child
+        node.count -= 1
+        lo_min = node.lo.min_key
+        hi_min = node.hi.min_key
+        node.min_key = (
+            lo_min if hi_min is None else hi_min if lo_min is None else min(lo_min, hi_min)
+        )
+        # Empty-leaf siblings annexed by the departed key re-home to the
+        # new minimum of the occupied side.
+        if sibling.lo is None and sibling.count == 0 and sibling.owner == key:
+            new_owner = new_child.min_key
+            assert new_owner is not None
+            changed.add(key)
+            changed.add(new_owner)
+            self._box_move(sibling.zone, key, new_owner)
+            sibling.owner = new_owner
+        return node
+
+    def _repair_neighbors(self, changed: Set[int], removed: Optional[int] = None) -> None:
+        """Recompute adjacency for owners whose zones changed; adjacency
+        between two untouched members cannot change."""
+        if removed is not None:
+            for m in self._neighbors.pop(removed, []):
+                lst = self._neighbors.get(m)
+                if lst is not None and removed in lst:
+                    lst.remove(removed)
+        live = sorted(k for k in changed if k in self._zone_boxes)
+        if not live:
+            return
+        arrays = self._collect_box_arrays()
+        for c in live:
+            new = self._adjacent_owners(c, arrays)
+            old = set(self._neighbors.get(c, ()))
+            self._neighbors[c] = sorted(new)
+            for dropped in old - new:
+                lst = self._neighbors.get(dropped)
+                if lst is not None and c in lst:
+                    lst.remove(c)
+            for gained in new - old:
+                lst = self._neighbors.get(gained)
+                if lst is not None and c not in lst:
+                    lst.append(c)
+                    lst.sort()
+
+    def _on_add(self, key: int) -> None:
+        assert self._root is not None
+        point = self.point_of(key)
+        changed: Set[int] = set()
+        self._root = self._trie_add(self._root, key, point, changed)
+        # Owners that lost territory to the newcomer may hold stale memo
+        # entries (the ring-neighbour rule of the base class does not apply
+        # to zone ownership).
+        for owner in changed:
+            self._evict_owner_group(owner)
+        self._repair_neighbors(changed)
+        self._record_repair(len(changed))
+
+    def _on_remove(self, key: int) -> None:
+        assert self._root is not None
+        point = self.point_of(key)
+        changed: Set[int] = set()
+        self._root = self._trie_remove(self._root, key, point, changed)
+        changed.discard(key)
+        self._repair_neighbors(changed, removed=key)
+        self._record_repair(len(changed))
+
+    def _invalidate_owner_memo_add(self, key: int) -> None:
+        # Zone ownership is not ring-local; eviction happens in _on_add
+        # once the set of owners losing territory is known.  (Departures
+        # only re-home keys the departed member owned, so the base rule
+        # stands for _invalidate_owner_memo_remove.)
         return
 
     # ------------------------------------------------------------------
@@ -218,14 +525,15 @@ class CANOverlay(Overlay):
         )
 
     def _compute_owner(self, key: int) -> int:
-        """The member whose zone contains the key's point."""
+        """The member whose zone contains the key's point (trie descent:
+        an empty leaf belongs to the member that annexed it)."""
+        if self._root is None:  # pragma: no cover - build precedes queries
+            raise RoutingError("overlay has no tessellation")
         point = self.point_of(key)
-        for member, boxes in self._zone_boxes.items():
-            if any(z.contains(point) for z in boxes):
-                return member
-        raise RoutingError(  # pragma: no cover - tessellation is complete
-            f"no zone contains point {point}"
-        )
+        node = self._root
+        while node.lo is not None:
+            node = node.lo if point[node.axis] < node.mid else node.hi
+        return node.owner
 
     def progress_key(self, node: int, target: int):
         """(zone L1 distance to the target point, key)."""

@@ -157,14 +157,18 @@ class ChordOverlay(Overlay):
         # newcomer takes over.  The contract tests assert equivalence
         # with a from-scratch oracle build.
         self._build_node(key)
-        for member in self._affected_by(key):
+        affected = self._affected_by(key)
+        for member in affected:
             self._build_node(member)
+        self._record_repair(len(affected) + 1)
 
     def _on_remove(self, key: int) -> None:
         self._fingers.pop(key, None)
         self._successors.pop(key, None)
-        for member in self._affected_by(key):
+        affected = self._affected_by(key)
+        for member in affected:
             self._build_node(member)
+        self._record_repair(len(affected))
 
     # ------------------------------------------------------------------
     # Routing

@@ -22,7 +22,9 @@ greedily follow the cheapest network link.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional
+
+import numpy as np
 
 from .base import ProximityFn
 from .keyspace import KeySpace
@@ -64,19 +66,10 @@ class TornadoOverlay(PastryOverlay):
     # ------------------------------------------------------------------
     # Slot selection: proximity first, then capacity, then key
     # ------------------------------------------------------------------
-    def _compute_table(self, key: int) -> Dict[Tuple[int, int], int]:
-        table: Dict[Tuple[int, int], int] = {}
-        for other in self._keys:
-            o = int(other)
-            if o == key:
-                continue
-            row = self.space.shared_prefix_length(key, o)
-            col = self.space.digit(o, row)
-            slot = (row, col)
-            cur = table.get(slot)
-            if cur is None or self._prefer(key, o, cur):
-                table[slot] = o
-        return table
+    def _slot_prefer(self, local: int, candidate: int, incumbent: int) -> bool:
+        """Tornado's slot rule (the inherited ``_compute_table`` and churn
+        repairs consult this hook instead of Pastry's ring rule)."""
+        return self._prefer(local, candidate, incumbent)
 
     def _prefer(self, local: int, candidate: int, incumbent: int) -> bool:
         """True when ``candidate`` should displace ``incumbent`` in a slot."""
@@ -90,6 +83,46 @@ class TornadoOverlay(PastryOverlay):
         if cc != ci:
             return cc > ci
         return candidate < incumbent
+
+    # ------------------------------------------------------------------
+    # Bulk build / churn repair: without a proximity callback the slot
+    # winner is argmin of (-capacity, key) over the block — independent of
+    # the local node, so one winner per block serves every paired node.
+    # ------------------------------------------------------------------
+    def _block_winner(self, keys: np.ndarray, lo: int, hi: int) -> int:
+        best = int(keys[lo])
+        best_cap = self.capacity(best)
+        for k in keys[lo + 1 : hi].tolist():
+            cap = self.capacity(k)
+            if cap > best_cap or (cap == best_cap and k < best):
+                best, best_cap = k, cap
+        return best
+
+    def _bulk_pair_winners(
+        self,
+        keys: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        pair_node: np.ndarray,
+        pair_block: np.ndarray,
+    ) -> np.ndarray:
+        caps = np.asarray([self.capacity(int(k)) for k in keys], dtype=np.float64)
+        order = np.lexsort((keys, -caps))  # best (max cap, min key) first
+        rank = np.empty(keys.size, dtype=np.int64)
+        rank[order] = np.arange(keys.size)
+        # per-block best = the minimum rank within each contiguous run
+        best_rank = np.minimum.reduceat(rank, starts)
+        winners = keys[order[best_rank]]
+        return winners[pair_block]
+
+    def _repair_slot_winner(
+        self, local: int, row: int, lo: int, hi: int, cache: Dict[int, int]
+    ) -> int:
+        winner = cache.get(row)
+        if winner is None:
+            winner = self._block_winner(self._keys, lo, hi)
+            cache[row] = winner
+        return winner
 
     # ------------------------------------------------------------------
     # §3 optimisation (1): greedy minimal-cost progress

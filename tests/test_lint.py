@@ -380,6 +380,92 @@ class TestSeedArithmetic:
 
 
 # ----------------------------------------------------------------------
+# BRS007 — full rebuild hiding in an incremental repair hook
+# ----------------------------------------------------------------------
+class TestRebuildInRepairHook:
+    def test_reset_state_in_on_add_fires(self):
+        found = lint(
+            """
+            class MyOverlay:
+                def _on_add(self, key):
+                    self._reset_state()
+                    for k in self._keys.tolist():
+                        self._build_node(int(k))
+            """,
+            path="repro/overlay/myoverlay.py",
+        )
+        assert codes(found) == ["BRS007"]
+
+    def test_reset_state_in_on_remove_fires(self):
+        found = lint(
+            """
+            class MyOverlay:
+                def _on_remove(self, key):
+                    self._tables.pop(key, None)
+                    self._reset_state()
+            """,
+            path="repro/overlay/myoverlay.py",
+        )
+        assert codes(found) == ["BRS007"]
+
+    def test_targeted_repair_clean(self):
+        found = lint(
+            """
+            class MyOverlay:
+                def _on_add(self, key):
+                    self._build_node(key)
+                    for member in self._affected_by(key):
+                        self._build_node(member)
+
+                def _on_remove(self, key):
+                    self._tables.pop(key, None)
+                    for member in self._affected_by(key):
+                        self._build_node(member)
+            """,
+            path="repro/overlay/myoverlay.py",
+        )
+        assert found == []
+
+    def test_super_fallback_clean(self):
+        found = lint(
+            """
+            class MyOverlay:
+                def _on_add(self, key):
+                    if not self._vectorisable():
+                        super()._on_add(key)
+                        return
+                    self._build_node(key)
+            """,
+            path="repro/overlay/myoverlay.py",
+        )
+        assert found == []
+
+    def test_base_module_exempt(self):
+        found = lint(
+            """
+            class Overlay:
+                def _on_add(self, key):
+                    self._reset_state()
+                    for k in self._keys.tolist():
+                        self._build_node(int(k))
+            """,
+            path="repro/overlay/base.py",
+        )
+        assert found == []
+
+    def test_reset_state_outside_hooks_clean(self):
+        found = lint(
+            """
+            class MyOverlay:
+                def build(self, keys):
+                    self._reset_state()
+            """,
+            path="repro/overlay/myoverlay.py",
+        )
+        assert found == []
+
+
+# ----------------------------------------------------------------------
 # Suppressions
 # ----------------------------------------------------------------------
 class TestSuppressions:
@@ -458,9 +544,10 @@ class TestEngine:
         with pytest.raises(ValueError):
             lint_source("x = 1\n", select=["BRS999"])
 
-    def test_registry_lists_six_rules(self):
+    def test_registry_lists_seven_rules(self):
         assert sorted(RULES) == [
             "BRS001", "BRS002", "BRS003", "BRS004", "BRS005", "BRS006",
+            "BRS007",
         ]
         for code, rule in RULES.items():
             assert rule.code == code

@@ -178,3 +178,105 @@ class TestTwoNodeRing:
         r = ov.route(100, 2**31)
         assert r.success
         assert r.terminus == 2**31
+
+
+def _assert_same_state(incremental, oracle, space, rng, *, routes=25):
+    """Incremental and oracle overlays are observationally identical.
+
+    Same membership, same neighbour sets for *every* member, same owner
+    for sampled targets, and bit-identical hop sequences for sampled
+    routes (route equality subsumes next-hop table equality on the paths
+    exercised).
+    """
+    inc_keys = sorted(int(k) for k in incremental.keys)
+    assert inc_keys == sorted(int(k) for k in oracle.keys)
+    for member in inc_keys:
+        assert sorted(incremental.neighbors_of(member)) == sorted(
+            oracle.neighbors_of(member)
+        ), f"neighbour sets diverge at member {member}"
+    targets = space.random_keys(rng, "parity.targets", 40, unique=False)
+    for t in targets:
+        assert incremental.owner_of(int(t)) == oracle.owner_of(int(t))
+    srcs = rng.sample("parity.srcs", inc_keys, min(routes, len(inc_keys)))
+    for s, t in zip(srcs, targets):
+        ri = incremental.route(s, int(t))
+        ro = oracle.route(s, int(t))
+        assert ri.hops == ro.hops, f"routes diverge from {s} to {int(t)}"
+
+
+class TestChurnSequenceParity:
+    """Randomised churn sequences: the incremental repair path must be
+    indistinguishable from a from-scratch reference build at every
+    intermediate membership (the tentpole's exactness guarantee)."""
+
+    @pytest.mark.parametrize("seed", [101, 202])
+    def test_incremental_matches_fresh_oracle(self, overlay_name, space, seed):
+        rng = RngStreams(seed)
+        keys = [int(k) for k in space.random_keys(rng, "keys", 96)]
+        ov = build(overlay_name, space, keys)
+        members = sorted(keys)
+        taken = set(members)
+        joiners = [
+            int(k)
+            for k in space.random_keys(rng, "joiners", 64)
+            if int(k) not in taken
+        ]
+        gen = rng.stream("schedule")
+        checkpoints = {14, 29, 44}
+        for i in range(45):
+            if int(gen.integers(2)) == 0 and len(members) > 8:
+                victim = members.pop(int(gen.integers(len(members))))
+                ov.remove_node(victim)
+            elif joiners:
+                newcomer = joiners.pop()
+                ov.add_node(newcomer)
+                members.append(newcomer)
+                members.sort()
+            if i in checkpoints:
+                # Oracle: per-node reference construction from scratch
+                # (bulk=False exercises the scalar path the vectorised
+                # builder and the repairs must both agree with).
+                oracle = make_overlay(overlay_name, space)
+                oracle.build(list(members), bulk=False)
+                _assert_same_state(ov, oracle, space, rng)
+
+    def test_bulk_build_matches_per_node_build(self, overlay_name, space):
+        rng = RngStreams(303)
+        keys = [int(k) for k in space.random_keys(rng, "keys", 128)]
+        bulk = make_overlay(overlay_name, space)
+        bulk.build(keys)
+        reference = make_overlay(overlay_name, space)
+        reference.build(keys, bulk=False)
+        _assert_same_state(bulk, reference, space, rng)
+
+    def test_owner_memo_stays_correct_under_churn(self, overlay_name, space):
+        """Targeted memo invalidation never serves a stale owner."""
+        rng = RngStreams(404)
+        keys = [int(k) for k in space.random_keys(rng, "keys", 80)]
+        ov = build(overlay_name, space, keys)
+        targets = [int(t) for t in space.random_keys(rng, "targets", 60, unique=False)]
+        members = sorted(keys)
+        taken = set(members)
+        joiners = [
+            int(k)
+            for k in space.random_keys(rng, "joiners", 40)
+            if int(k) not in taken
+        ]
+        gen = rng.stream("schedule")
+        for t in targets:  # warm the memo
+            ov.owner_of(t)
+        for i in range(30):
+            if i % 2 == 0 and len(members) > 8:
+                victim = members.pop(int(gen.integers(len(members))))
+                ov.remove_node(victim)
+            elif joiners:
+                newcomer = joiners.pop()
+                ov.add_node(newcomer)
+                members.append(newcomer)
+                members.sort()
+            fresh = make_overlay(overlay_name, space)
+            fresh.build(list(members))
+            for t in targets:
+                assert ov.owner_of(t) == fresh.owner_of(t), (
+                    f"stale memoised owner for target {t} after event {i}"
+                )
