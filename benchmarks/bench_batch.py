@@ -1,0 +1,181 @@
+"""Batched location-update benchmark: per-key vs batched movement cost.
+
+ROADMAP item 3's acceptance numbers.  For a mobile host carrying K
+co-hosted resource keys this measures, per batch size K:
+
+* **messages/movement** — the analytic per-key baseline (each key pays
+  its own publish fan-out plus its own Fig-4 dissemination tree,
+  O(K · log N) total) against the batched ``move_many`` path (one message
+  per distinct stationary holder plus one union-tree wave,
+  O(K + log N));
+* **publishes/sec** — wall-clock throughput of K sequential
+  ``LocationDirectory.publish`` calls against one ``publish_many``
+  (the vectorised ``holders_for_many`` grouping).
+
+Writes
+
+* ``benchmarks/results/BENCH_batch.json`` — machine-readable results;
+  the CI gate reads ``per_k.<max K>.reduction`` (≥ 5x) and
+  ``per_k.<max K>.batched_norm`` (batched messages / (K + log₂ N),
+  bounded when the claimed complexity holds);
+* ``benchmarks/results/BENCH_batch.txt`` — the human summary.
+
+Run directly: ``PYTHONPATH=src python benchmarks/bench_batch.py
+[--scale quick|full] [--sanitize]``.  ``--sanitize`` turns on the runtime
+sanitizer (every union tree is structurally checked); timings degrade but
+message counts do not change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+import time
+from typing import Dict, List, Optional
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro import sanitize  # noqa: E402
+from repro.core.bristle import BristleNetwork  # noqa: E402
+from repro.core.config import BristleConfig  # noqa: E402
+from repro.experiments.ext_batch import setup_cohost_registrations  # noqa: E402
+
+#: (num_stationary, batch sizes, timing repeats) per scale.
+SCALES = {
+    "quick": (128, (1, 8, 64, 512), 3),
+    "full": (512, (1, 10, 100, 1000), 3),
+}
+
+
+def build_network(num_stationary: int, num_mobile: int, *, seed: int = 57) -> BristleNetwork:
+    cfg = BristleConfig(seed=seed, naming="scrambled")
+    net = BristleNetwork(
+        cfg,
+        num_stationary=num_stationary,
+        num_mobile=num_mobile,
+        router_count=max(100, num_stationary // 4),
+    )
+    setup_cohost_registrations(net, net.mobile_keys, private_registrants=1)
+    return net
+
+
+def bench_batch_size(net: BristleNetwork, k: int, repeats: int) -> Dict[str, object]:
+    """Message counts + publish throughput for one batch size."""
+    group = net.mobile_keys[:k]
+    holders_map = net.directory.holders_for_many(group)
+    per_key_msgs = sum(
+        len(holders_map[mk]) + net.build_ldt_for(mk).message_count for mk in group
+    )
+    report = net.move_many(group)
+    batched_msgs = report.total_messages
+    log2n = math.log2(net.num_nodes)
+
+    # Publish throughput: K sequential publishes vs one batched publish,
+    # refreshing the records just moved (state is identical either way).
+    updates = {mk: net.nodes[mk].address for mk in group}
+    seq_times: List[float] = []
+    bat_times: List[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for mk, addr in sorted(updates.items()):
+            net.directory.publish(mk, addr, now=net.now, ttl=net.config.state_ttl)
+        seq_times.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        net.directory.publish_many(updates, now=net.now, ttl=net.config.state_ttl)
+        bat_times.append(time.perf_counter() - t0)
+    seq_s = min(seq_times)
+    bat_s = min(bat_times)
+
+    return {
+        "per_key_msgs": per_key_msgs,
+        "batched_msgs": batched_msgs,
+        "reduction": round(per_key_msgs / batched_msgs, 2) if batched_msgs else None,
+        "distinct_holders": report.publish_messages,
+        "union_registrants": report.ldt.num_members if report.ldt is not None else 0,
+        "batched_norm": round(batched_msgs / (k + log2n), 3),
+        "seq_publish_s": round(seq_s, 6),
+        "batch_publish_s": round(bat_s, 6),
+        "seq_publishes_per_sec": round(k / seq_s, 1) if seq_s else None,
+        "batch_publishes_per_sec": round(k / bat_s, 1) if bat_s else None,
+        "publish_speedup": round(seq_s / bat_s, 2) if bat_s else None,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="full",
+        help="quick: 128-stationary smoke run; full: 512-stationary "
+        "acceptance run (K up to 1000)",
+    )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="enable the runtime sanitizer (structural checks on every "
+        "union dissemination tree)",
+    )
+    args = parser.parse_args(argv)
+    if args.sanitize:
+        sanitize.set_enabled(True)
+    num_stationary, batch_sizes, repeats = SCALES[args.scale]
+    max_k = max(batch_sizes)
+
+    print(
+        f"building network ({num_stationary} stationary, {max_k} co-hosted "
+        "mobile keys) ...",
+        flush=True,
+    )
+    net = build_network(num_stationary, max_k)
+    per_k: Dict[str, Dict[str, object]] = {}
+    for k in batch_sizes:
+        print(f"benchmarking K={k} ...", flush=True)
+        per_k[str(k)] = bench_batch_size(net, k, repeats)
+
+    payload = {
+        "benchmark": "batch",
+        "scale": args.scale,
+        "num_stationary": num_stationary,
+        "num_mobile": max_k,
+        "max_k": max_k,
+        "sanitize": bool(args.sanitize),
+        "python": sys.version.split()[0],
+        "per_k": per_k,
+    }
+    if args.sanitize:
+        payload["sanitize_checks"] = sanitize.counts().get("ldt", 0)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    json_path = RESULTS_DIR / "BENCH_batch.json"
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        f"Batched location-update benchmark — per-key vs batched movement "
+        f"({num_stationary} stationary, scale={args.scale})",
+        "",
+        f"  {'K':>6} {'per-key msgs':>13} {'batched msgs':>13} {'reduction':>10} "
+        f"{'norm':>6} {'seq pub/s':>11} {'batch pub/s':>12}",
+    ]
+    for k in batch_sizes:
+        r = per_k[str(k)]
+        lines.append(
+            f"  {k:>6} {r['per_key_msgs']:>13} {r['batched_msgs']:>13} "
+            f"{r['reduction']:>9.1f}x {r['batched_norm']:>6.2f} "
+            f"{r['seq_publishes_per_sec']:>11.0f} {r['batch_publishes_per_sec']:>12.0f}"
+        )
+    if args.sanitize:
+        lines.append("")
+        lines.append(
+            f"  sanitizer: {payload['sanitize_checks']} LDT checks, 0 violations"
+        )
+    text = "\n".join(lines)
+    (RESULTS_DIR / "BENCH_batch.txt").write_text(text + "\n")
+    print("\n" + text)
+    print(f"\n[written to {json_path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

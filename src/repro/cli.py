@@ -160,6 +160,7 @@ CHARTABLE = {
     "fig9": ("M/N (%)", ["with locality", "without locality"]),
     "bounds-eq1": ("M/N (%)", ["routes w/ resolution (%)"]),
     "ext-staleness": ("p_stale", ["mean cost"]),
+    "ext-batch-update": ("K", ["per-key msgs", "batched msgs"]),
     "fig8-workload": ("used (%)", ["mean depth"]),
     "ext-scaling": ("N", ["hops scrambled", "hops clustered"]),
     "ext-data": ("moved (%)", ["Bristle availability", "Type A availability"]),

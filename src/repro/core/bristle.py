@@ -40,12 +40,12 @@ from ..overlay.keyspace import KeySpace
 from ..sim.rng import RngStreams
 from ..sim.telemetry import Telemetry, active_telemetry
 from .config import BristleConfig
-from .ldt import LDTMember, LDTree, build_ldt
-from .location import LocationDirectory, RegistrationManager
+from .ldt import LDTMember, LDTree, build_ldt, merge_registry_members
+from .location import BatchPublishResult, LocationDirectory, RegistrationManager
 from .naming import make_naming
 from .node import BristleNode
 
-__all__ = ["BristleNetwork", "MoveReport"]
+__all__ = ["BristleNetwork", "MoveReport", "BatchMoveReport"]
 
 
 @dataclasses.dataclass
@@ -85,6 +85,61 @@ class MoveReport:
     def total_messages(self) -> int:
         """Publish messages (one per holder) plus LDT advertisements."""
         return len(self.publish_holders) + self.ldt_messages
+
+
+@dataclasses.dataclass
+class BatchMoveReport:
+    """Accounting for one batched multi-resource movement (§2.3.1 update,
+    amortised across a mobile host's co-hosted keys).
+
+    Attributes
+    ----------
+    keys:
+        The co-hosted mobile keys that moved together.
+    new_addresses:
+        key → address after the move (same router, per-key ports/epochs).
+    publish:
+        The batched directory update (``None`` when publishing was
+        disabled); one message per *distinct* stationary holder.
+    publish_hops:
+        Overlay hops for the single batched publish into the stationary
+        layer (the per-key baseline pays this once per key).
+    ldt_root:
+        The representative key that ran the coalesced advertisement.
+    ldt:
+        The single union dissemination tree (``None`` when no key has
+        registrants or advertisement was disabled).
+    """
+
+    keys: List[int]
+    new_addresses: Dict[int, NetworkAddress]
+    publish: Optional[BatchPublishResult]
+    publish_hops: int
+    ldt_root: Optional[int]
+    ldt: Optional[LDTree]
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.keys)
+
+    @property
+    def publish_messages(self) -> int:
+        """Directory update messages (one per distinct holder)."""
+        return self.publish.message_count if self.publish is not None else 0
+
+    @property
+    def ldt_messages(self) -> int:
+        return self.ldt.message_count if self.ldt is not None else 0
+
+    @property
+    def ldt_depth(self) -> int:
+        return self.ldt.depth if self.ldt is not None else 0
+
+    @property
+    def total_messages(self) -> int:
+        """Batched publish messages plus the single LDT wave —
+        O(K + log N) where the per-key baseline pays O(K · log N)."""
+        return self.publish_messages + self.ldt_messages
 
 
 class BristleNetwork:
@@ -237,6 +292,13 @@ class BristleNetwork:
         #: "infrastructure load" counter (comparable to Type B's per-agent
         #: packet counts).
         self.resolution_load: Dict[int, int] = {}
+        # Cached dissemination trees (see :meth:`ldt_for`).  Each entry maps
+        # a mobile key (or a co-hosted key group) to the fingerprint it was
+        # built under plus the tree; a fingerprint mismatch triggers a
+        # rebuild.  Moves never invalidate: trees depend on registries,
+        # capacities and workloads, not addresses.
+        self._ldt_cache: Dict[int, Tuple[tuple, LDTree]] = {}
+        self._group_ldt_cache: Dict[Tuple[int, ...], Tuple[tuple, int, LDTree]] = {}
         # Every node (mobile ones included) starts published so discovery
         # succeeds from time zero.
         for key in self.mobile_keys:
@@ -465,6 +527,10 @@ class BristleNetwork:
         tree = build_ldt(
             root, members, unit_cost=self.config.unit_advertise_cost, tie_break=tie
         )
+        self._ldt_metrics(tree)
+        return tree
+
+    def _ldt_metrics(self, tree: LDTree) -> None:
         m = self.telemetry.metrics
         m.counter("ldt.built").inc()
         m.histogram("ldt.depth").observe(tree.depth)
@@ -474,7 +540,178 @@ class BristleNetwork:
         )
         if _sanitize.ACTIVE:
             _sanitize.check_ldt(tree, self.config.unit_advertise_cost)
+
+    def ldt_for(self, key: int) -> LDTree:
+        """Cached variant of :meth:`build_ldt_for`.
+
+        The tree is re-derived only when its Fig-4 inputs changed: the
+        fingerprint covers the root's ``ldt_epoch`` (registry membership,
+        registrant capacities, own workload) and every current registrant's
+        epoch (their capacity/workload), so a pure movement or timestamp
+        refresh hits the cache.  Periodic refreshers
+        (:class:`~repro.core.statebinding.EarlyBinding`) use this to avoid
+        rebuilding an unchanged tree every period; :meth:`move` keeps
+        building fresh trees so its accounting is self-contained.
+        """
+        node = self.nodes[key]
+        fp = (
+            node.ldt_epoch,
+            tuple(self.nodes[r].ldt_epoch for r in sorted(node.registry)),
+        )
+        cached = self._ldt_cache.get(key)
+        m = self.telemetry.metrics
+        if cached is not None and cached[0] == fp:
+            m.counter("ldt.cache_hits").inc()
+            return cached[1]
+        m.counter("ldt.cache_misses").inc()
+        tree = self.build_ldt_for(key)
+        self._ldt_cache[key] = (fp, tree)
         return tree
+
+    def build_ldt_for_group(
+        self, keys: Sequence[int], *, locality_tie_break: bool = False
+    ) -> Tuple[int, LDTree]:
+        """One coalesced advertisement tree for co-hosted mobile keys.
+
+        The batched update multicasts the host's new address once, over the
+        *union* of the group's registries (deduplicated — a registrant
+        interested in several co-hosted resources is visited once).  The
+        root is the group member with the most available capacity (ties
+        broken by key, deterministically); group members themselves are
+        excluded from the wave since they share the host.  Returns
+        ``(root_key, tree)``.
+        """
+        group = sorted({int(k) for k in keys})
+        if not group:
+            raise ValueError("build_ldt_for_group needs at least one key")
+        rep = max(group, key=lambda k: (self.nodes[k].available, -k))
+        rep_node = self.nodes[rep]
+        root = LDTMember(key=rep, capacity=rep_node.capacity, used=rep_node.used)
+        members = merge_registry_members(
+            (
+                [
+                    LDTMember(
+                        key=e.key,
+                        capacity=self.nodes[e.key].capacity,
+                        used=self.nodes[e.key].used,
+                    )
+                    for e in self.nodes[k].registry_entries()
+                ]
+                for k in group
+            ),
+            exclude=group,
+        )
+        tie = None
+        if locality_tie_break:
+            tie = lambda m: self.network_distance_between_keys(rep, m.key)  # noqa: E731
+        tree = build_ldt(
+            root, members, unit_cost=self.config.unit_advertise_cost, tie_break=tie
+        )
+        self._ldt_metrics(tree)
+        return rep, tree
+
+    def ldt_for_group(self, keys: Sequence[int]) -> Tuple[int, LDTree]:
+        """Cached variant of :meth:`build_ldt_for_group` (same epoch
+        fingerprinting as :meth:`ldt_for`, extended over the group and the
+        union of its registrants)."""
+        group = tuple(sorted({int(k) for k in keys}))
+        if not group:
+            raise ValueError("ldt_for_group needs at least one key")
+        union = sorted({r for k in group for r in self.nodes[k].registry})
+        fp = (
+            tuple(self.nodes[k].ldt_epoch for k in group),
+            tuple(self.nodes[r].ldt_epoch for r in union),
+        )
+        cached = self._group_ldt_cache.get(group)
+        m = self.telemetry.metrics
+        if cached is not None and cached[0] == fp:
+            m.counter("ldt.cache_hits").inc()
+            return cached[1], cached[2]
+        m.counter("ldt.cache_misses").inc()
+        rep, tree = self.build_ldt_for_group(list(group))
+        self._group_ldt_cache[group] = (fp, rep, tree)
+        return rep, tree
+
+    # ------------------------------------------------------------------
+    # Batched mobility (update_many, ROADMAP item 3)
+    # ------------------------------------------------------------------
+    def move_many(
+        self,
+        keys: Sequence[int],
+        router: Optional[int] = None,
+        *,
+        advertise: bool = True,
+        publish: bool = True,
+    ) -> BatchMoveReport:
+        """Move a mobile host carrying ``keys`` co-hosted resource keys.
+
+        The host changes attachment point once; all of its keys land on
+        the same router.  The location update is batched: one
+        :meth:`LocationDirectory.publish_many` (one message per *distinct*
+        stationary holder, with co-hosted keys grouped by responsible
+        holder) and one coalesced advertisement wave over the union of the
+        group's registries.  A K-resource movement therefore costs
+        O(K + log N) messages where K per-key :meth:`move` calls cost
+        O(K · log N).  Directory state afterwards is identical to K
+        sequential publishes at the same virtual time.
+        """
+        group = sorted({int(k) for k in keys})
+        if not group:
+            raise ValueError("move_many needs at least one key")
+        for k in group:
+            if not self.nodes[k].mobile:
+                raise ValueError(f"node {k} is stationary; only mobile nodes move")
+        tel = self.telemetry
+        sid = (
+            tel.tracer.span_begin(self.now, "op.update_many", batch=len(group))
+            if tel.tracer.enabled
+            else 0
+        )
+        new_addresses = self.placement.move_group(group, router)
+        for k, addr in new_addresses.items():
+            node = self.nodes[k]
+            node.address = addr
+            node.moves += 1
+
+        result: Optional[BatchPublishResult] = None
+        publish_hops = 0
+        if publish:
+            result = self.directory.publish_many(
+                new_addresses, now=self.now, ttl=self.config.state_ttl
+            )
+            # One routed entry into the stationary layer carries the whole
+            # batch; the per-holder fan-out is counted in publish_messages.
+            publish_hops = 1
+
+        ldt_root: Optional[int] = None
+        ldt: Optional[LDTree] = None
+        if advertise and any(self.nodes[k].registry for k in group):
+            ldt_root, ldt = self.build_ldt_for_group(group)
+        report = BatchMoveReport(
+            keys=group,
+            new_addresses=new_addresses,
+            publish=result,
+            publish_hops=publish_hops,
+            ldt_root=ldt_root,
+            ldt=ldt,
+        )
+        m = tel.metrics
+        m.counter("op.update_many.count").inc()
+        m.histogram("op.update_many.batch_size").observe(report.batch_size)
+        m.counter("op.update_many.publish_messages").inc(report.publish_messages)
+        m.histogram("op.update_many.total_messages").observe(report.total_messages)
+        if ldt is not None:
+            m.histogram("op.update_many.ldt_messages").observe(report.ldt_messages)
+            m.histogram("op.update_many.ldt_depth").observe(report.ldt_depth)
+        if sid:
+            tel.tracer.span_end(
+                self.now,
+                sid,
+                holders=report.publish_messages,
+                ldt_messages=report.ldt_messages,
+                total_messages=report.total_messages,
+            )
+        return report
 
     # ------------------------------------------------------------------
     # Discovery (reactive state resolution, §2.3.2)
@@ -580,6 +817,9 @@ class BristleNetwork:
             self.registrations.unregister(key, target)
         for registrant in list(node.registry):
             self.registrations.unregister(registrant, key)
+        self._ldt_cache.pop(key, None)
+        for g in [g for g in self._group_ldt_cache if key in g]:
+            del self._group_ldt_cache[g]
         self.mobile_layer.remove_node(key)
         self.placement.detach(key)
         self.mobile_keys.remove(key)

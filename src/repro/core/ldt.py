@@ -25,9 +25,16 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["LDTMember", "LDTNode", "LDTree", "build_ldt", "ldt_depth_bound"]
+__all__ = [
+    "LDTMember",
+    "LDTNode",
+    "LDTree",
+    "build_ldt",
+    "merge_registry_members",
+    "ldt_depth_bound",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -240,6 +247,31 @@ def build_ldt(
     advertise(root, 0, list(registry))
     tree = LDTree(root_key=root.key, nodes=nodes, edges=edges)
     return tree
+
+
+def merge_registry_members(
+    groups: Iterable[Sequence[LDTMember]],
+    *,
+    exclude: Optional[Iterable[int]] = None,
+) -> List[LDTMember]:
+    """Union of several registries as one deduplicated member list.
+
+    The batched-update path coalesces the LDT dissemination of co-hosted
+    mobile keys: one wave over the union of their registries reaches every
+    interested node exactly once, instead of one wave per key re-visiting
+    the shared registrants.  Keys in ``exclude`` (the co-hosted group
+    itself — already informed by construction) are dropped; the first
+    occurrence of a duplicated registrant wins, and the output is sorted by
+    key so construction stays deterministic regardless of group order.
+    """
+    banned = set(exclude) if exclude is not None else set()
+    merged: Dict[int, LDTMember] = {}
+    for group in groups:
+        for member in group:
+            if member.key in banned or member.key in merged:
+                continue
+            merged[member.key] = member
+    return [merged[k] for k in sorted(merged)]
 
 
 def ldt_depth_bound(registry_size: int, branching: int) -> float:

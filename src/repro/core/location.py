@@ -16,7 +16,7 @@ Two cooperating pieces implement §2.1/§2.3:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -26,7 +26,12 @@ from ..overlay.keyspace import KeySpace
 from ..sim.metrics import MetricsRegistry
 from .node import BristleNode, RegistryEntry
 
-__all__ = ["LocationRecord", "LocationDirectory", "RegistrationManager"]
+__all__ = [
+    "LocationRecord",
+    "LocationDirectory",
+    "RegistrationManager",
+    "BatchPublishResult",
+]
 
 
 @dataclasses.dataclass
@@ -41,6 +46,43 @@ class LocationRecord:
     def fresh(self, now: float) -> bool:
         """Lease still valid at ``now``."""
         return now <= self.published_at + self.ttl
+
+
+@dataclasses.dataclass
+class BatchPublishResult:
+    """Outcome of one :meth:`LocationDirectory.publish_many` call.
+
+    Attributes
+    ----------
+    holders:
+        mobile key → the stationary holders now storing its record (the
+        same value :meth:`LocationDirectory.publish` returns per key).
+    holder_batches:
+        stationary holder → the batch keys it received.  Each entry is one
+        *message*: the batched path sends a holder a single update carrying
+        every co-hosted record it is responsible for, instead of one
+        message per record.
+    """
+
+    holders: Dict[int, List[int]]
+    holder_batches: Dict[int, List[int]]
+
+    @property
+    def num_records(self) -> int:
+        """Records published in the batch (K)."""
+        return len(self.holders)
+
+    @property
+    def distinct_holders(self) -> int:
+        """Stationary nodes contacted — one batched message each."""
+        return len(self.holder_batches)
+
+    @property
+    def message_count(self) -> int:
+        """Update messages the batch costs (one per distinct holder),
+        versus ``sum(len(h) for h in holders.values())`` for the per-key
+        baseline."""
+        return len(self.holder_batches)
 
 
 class LocationDirectory:
@@ -62,25 +104,26 @@ class LocationDirectory:
         self.replication = replication
         # holder key -> {mobile key -> record}
         self._stores: Dict[int, Dict[int, LocationRecord]] = {}
+        # mobile key -> holders that actually store its record right now.
+        # This is the withdrawal index: ``holders_for`` recomputed later may
+        # name a *different* holder set once the stationary membership has
+        # churned, so removal must consult where records really live.
+        self._holders_by_key: Dict[int, Tuple[int, ...]] = {}
         self.publish_count = 0
+        self.batch_publish_count = 0
         self.resolve_count = 0
 
     # ------------------------------------------------------------------
     # Holder selection
     # ------------------------------------------------------------------
-    def holders_for(self, key: int) -> List[int]:
-        """The stationary nodes storing the record for ``key``.
-
-        The owner plus its ring neighbours, ``replication`` holders total
-        (bounded by the layer size).
+    def _holders_near(self, owner: int, idx: int) -> List[int]:
+        """Holder set for a record owned by ``owner`` at sorted index
+        ``idx``: the owner plus its ring neighbours, alternately
+        right/left, ``replication`` holders total (bounded by layer size).
         """
         keys = self.overlay.keys
         n = int(keys.size)
         count = min(self.replication, n)
-        owner = self.overlay.owner_of(key)
-        idx = int(np.searchsorted(keys, owner))
-        # Expand alternately right/left around the owner for "clustered"
-        # replicas.
         holders = [owner]
         step = 1
         while len(holders) < count:
@@ -95,17 +138,95 @@ class LocationDirectory:
             step += 1
         return holders
 
+    def holders_for(self, key: int) -> List[int]:
+        """The stationary nodes storing the record for ``key``.
+
+        The owner plus its ring neighbours, ``replication`` holders total
+        (bounded by the layer size).
+        """
+        owner = self.overlay.owner_of(key)
+        idx = int(np.searchsorted(self.overlay.keys, owner))
+        return self._holders_near(owner, idx)
+
+    def holders_for_many(self, keys: Iterable[int]) -> Dict[int, List[int]]:
+        """Holder sets for many keys at once (batched counterpart of
+        :meth:`holders_for`).
+
+        Keys are grouped by responsible owner — the owner lookup rides the
+        overlay's warm ``owner_of`` memo, the owner indices are resolved
+        with a single vectorised ``searchsorted``, and the replica
+        expansion runs once per *distinct* owner rather than once per key.
+        Co-hosted keys with a shared owner therefore cost O(distinct
+        owners), not O(K).
+        """
+        key_list = [int(k) for k in keys]
+        owner_of = self.overlay.owner_of
+        owners = {k: owner_of(k) for k in key_list}
+        distinct = sorted(set(owners.values()))
+        if not distinct:
+            return {}
+        idxs = np.searchsorted(self.overlay.keys, np.asarray(distinct, dtype=np.uint64))
+        per_owner = {
+            o: self._holders_near(o, int(i)) for o, i in zip(distinct, idxs)
+        }
+        return {k: list(per_owner[owners[k]]) for k in key_list}
+
     # ------------------------------------------------------------------
     # Publish / resolve
     # ------------------------------------------------------------------
+    def _place(self, key: int, record: LocationRecord, holders: List[int]) -> None:
+        """Store ``record`` at ``holders`` and retire stale replicas.
+
+        A republish after stationary churn may target a different holder
+        set; replicas left behind on former holders are removed here so a
+        record never outlives its key's current placement.
+        """
+        previous = self._holders_by_key.get(key)
+        if previous is not None:
+            current = set(holders)
+            for h in previous:
+                if h not in current:
+                    self._stores.get(h, {}).pop(key, None)
+        for h in holders:
+            self._stores.setdefault(h, {})[key] = record
+        self._holders_by_key[key] = tuple(holders)
+
     def publish(self, key: int, addr: NetworkAddress, now: float, ttl: float) -> List[int]:
         """Store ``key → addr`` at every holder; returns the holder keys."""
         record = LocationRecord(key=key, addr=addr, published_at=now, ttl=ttl)
         holders = self.holders_for(key)
-        for h in holders:
-            self._stores.setdefault(h, {})[key] = record
+        self._place(key, record, holders)
         self.publish_count += 1
         return holders
+
+    def publish_many(
+        self,
+        updates: Mapping[int, NetworkAddress],
+        now: float,
+        ttl: float,
+    ) -> BatchPublishResult:
+        """Store ``key → addr`` for every entry of ``updates`` in one batch.
+
+        The directory state afterwards is bit-identical to ``len(updates)``
+        sequential :meth:`publish` calls at the same virtual time; the
+        difference is message accounting — records sharing a stationary
+        holder travel in one update message, so a K-record batch costs one
+        message per *distinct* holder (see
+        :attr:`BatchPublishResult.message_count`) instead of
+        ``K × replication``.
+        """
+        items = sorted((int(k), addr) for k, addr in updates.items())
+        holders_map = self.holders_for_many(k for k, _ in items)
+        holder_batches: Dict[int, List[int]] = {}
+        for key, addr in items:
+            record = LocationRecord(key=key, addr=addr, published_at=now, ttl=ttl)
+            holders = holders_map[key]
+            self._place(key, record, holders)
+            for h in holders:
+                holder_batches.setdefault(h, []).append(key)
+            self.publish_count += 1
+        self.batch_publish_count += 1
+        return BatchPublishResult(holders=holders_map, holder_batches=holder_batches)
 
     def resolve(self, key: int, now: float) -> Optional[NetworkAddress]:
         """Look up the freshest record for ``key`` among its holders."""
@@ -126,10 +247,29 @@ class LocationDirectory:
             return rec.addr
         return None
 
-    def withdraw(self, key: int) -> None:
-        """Remove all records for ``key`` (the node left the system)."""
-        for h in self.holders_for(key):
-            self._stores.get(h, {}).pop(key, None)
+    def withdraw(self, key: int) -> int:
+        """Remove all records for ``key`` (the node left the system).
+
+        Removal targets the holders that *actually store* the record (the
+        index maintained by publish/rebalance), not ``holders_for(key)``
+        recomputed at withdrawal time: stationary churn between publish and
+        withdraw can re-home ownership, and recomputing would leave the
+        record alive on its former holders forever.  Returns the number of
+        replicas removed.
+        """
+        removed = 0
+        holders = self._holders_by_key.pop(key, None)
+        if holders is None:
+            # Not published through this directory (or already withdrawn):
+            # sweep every store so no replica can survive regardless.
+            for recs in self._stores.values():
+                if recs.pop(key, None) is not None:
+                    removed += 1
+            return removed
+        for h in holders:
+            if self._stores.get(h, {}).pop(key, None) is not None:
+                removed += 1
+        return removed
 
     def records_at(self, holder: int) -> Dict[int, LocationRecord]:
         """All records a holder currently stores (the Figure-3 notion of
@@ -140,19 +280,37 @@ class LocationDirectory:
         """record count per stationary holder — responsibility measured."""
         return {h: len(recs) for h, recs in self._stores.items()}
 
-    def rebalance_after_membership_change(self, all_keys: Iterable[int], now: float) -> None:
+    def rebalance_after_membership_change(
+        self, all_keys: Optional[Iterable[int]], now: float
+    ) -> None:
         """Re-place every record on the holders implied by the current
-        stationary membership (called after stationary churn)."""
+        stationary membership (called after stationary churn).
+
+        Only the freshest replica of each key survives, and only if
+
+        * its lease is still valid at ``now`` — an expired record must not
+          be resurrected with a new placement, and
+        * its key appears in ``all_keys``, the keys still live in the
+          system (``None`` skips this pruning when the caller cannot
+          enumerate them) — records for departed keys are dropped rather
+          than endlessly re-replicated.
+        """
+        live = None if all_keys is None else {int(k) for k in all_keys}
         existing: Dict[int, LocationRecord] = {}
         for recs in self._stores.values():
             for k, rec in recs.items():
+                if live is not None and k not in live:
+                    continue
+                if not rec.fresh(now):
+                    continue
                 cur = existing.get(k)
                 if cur is None or rec.published_at > cur.published_at:
                     existing[k] = rec
         self._stores.clear()
-        for k, rec in existing.items():
-            for h in self.holders_for(k):
-                self._stores.setdefault(h, {})[k] = rec
+        self._holders_by_key.clear()
+        holders_map = self.holders_for_many(sorted(existing))
+        for k in sorted(existing):
+            self._place(k, existing[k], holders_map[k])
 
 
 class RegistrationManager:
@@ -173,17 +331,29 @@ class RegistrationManager:
         self._metrics = metrics
         self.registration_count = 0
 
-    def register(self, registrant: int, target: int, now: float = 0.0) -> None:
-        """``registrant`` declares interest in ``target``'s movement."""
+    def register(self, registrant: int, target: int, now: float = 0.0) -> bool:
+        """``registrant`` declares interest in ``target``'s movement.
+
+        Idempotent: re-registering an existing interest (e.g. when
+        ``register_from_overlay`` re-runs after churn repair) refreshes the
+        entry's timestamp/capacity in place and is *not* counted as a new
+        registration.  Returns True when the registration is new.
+        """
         reg = self._nodes[registrant]
         tgt = self._nodes[target]
+        is_new = registrant not in tgt.registry
         tgt.register(
             RegistryEntry(key=registrant, capacity=reg.capacity, registered_at=now)
         )
         reg.subscriptions.add(target)
+        if not is_new:
+            if self._metrics is not None:
+                self._metrics.counter("op.register.refreshed").inc()
+            return False
         self.registration_count += 1
         if self._metrics is not None:
             self._metrics.counter("op.register.count").inc()
+        return True
 
     def unregister(self, registrant: int, target: int) -> None:
         """Withdraw ``registrant``'s interest in ``target``."""
@@ -198,7 +368,8 @@ class RegistrationManager:
         For every member X and every neighbour Y in X's routing state, X
         registers to Y (when ``mobile_only``, only to mobile Y — §2.3.1:
         "X can register itself to those mobile nodes only").  Returns the
-        number of registrations issued.
+        number of *new* registrations issued — re-running after churn
+        repair refreshes existing interests without double-counting them.
         """
         issued = 0
         for key in overlay.keys:
@@ -209,8 +380,8 @@ class RegistrationManager:
                     continue
                 if mobile_only and not tgt.mobile:
                     continue
-                self.register(x, y)
-                issued += 1
+                if self.register(x, y):
+                    issued += 1
         return issued
 
     def registry_sizes(self, *, mobile_only: bool = True) -> List[int]:

@@ -74,6 +74,12 @@ class BristleNode:
         self.address: Optional[NetworkAddress] = None
         #: movement counter (mirrors the address epoch).
         self.moves = 0
+        #: bumped whenever anything a Fig-4 LDT depends on changes —
+        #: registry membership, capacity of a registrant, or this node's
+        #: workload.  Cached dissemination trees compare epochs instead of
+        #: rebuilding (moves alone never invalidate a tree: it does not
+        #: depend on addresses).
+        self.ldt_epoch = 0
 
     # ------------------------------------------------------------------
     # Capacity / workload
@@ -87,13 +93,18 @@ class BristleNode:
         """Account ``amount`` of workload (may push the node to overload)."""
         if amount < 0:
             raise ValueError("workload amount must be non-negative")
-        self.used += amount
+        if amount > 0:
+            self.used += amount
+            self.ldt_epoch += 1
 
     def release(self, amount: float) -> None:
         """Release previously-consumed workload."""
         if amount < 0:
             raise ValueError("workload amount must be non-negative")
-        self.used = max(0.0, self.used - amount)
+        released = min(amount, self.used)
+        if released > 0:
+            self.used -= released
+            self.ldt_epoch += 1
 
     # ------------------------------------------------------------------
     # Registration (§2.3.1)
@@ -102,11 +113,16 @@ class BristleNode:
         """Admit ``entry`` into ``R(self)`` (idempotent per key)."""
         if entry.key == self.key:
             raise ValueError("a node does not register to itself")
+        prev = self.registry.get(entry.key)
         self.registry[entry.key] = entry
+        # A pure timestamp refresh leaves the dissemination tree intact.
+        if prev is None or prev.capacity != entry.capacity:
+            self.ldt_epoch += 1
 
     def unregister(self, key: int) -> None:
         """Remove ``key`` from ``R(self)`` if present."""
-        self.registry.pop(key, None)
+        if self.registry.pop(key, None) is not None:
+            self.ldt_epoch += 1
 
     def registry_entries(self) -> list:
         """``R(self)`` in deterministic (key-sorted) order."""

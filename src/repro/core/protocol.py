@@ -23,7 +23,7 @@ The two protocol drivers:
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..sim.engine import Engine
 from ..sim.events import EventKind
@@ -245,6 +245,104 @@ class BristleProtocol:
                     wave.on_complete(wave)
 
         forward(mobile_key)
+        return wave
+
+    def advertise_many(
+        self,
+        keys: Sequence[int],
+        *,
+        tree: Optional[LDTree] = None,
+        on_complete: Optional[Callable[[AdvertisementWave], None]] = None,
+    ) -> AdvertisementWave:
+        """Start one coalesced multicast for co-hosted mobile ``keys``.
+
+        The batched counterpart of :meth:`advertise`: a single wave runs
+        over the union dissemination tree
+        (:meth:`BristleNetwork.build_ldt_for_group`), and each arriving
+        registrant refreshes its cached state-pair for *every* batch key it
+        is registered to — one message per registrant instead of one per
+        (key, registrant) subscription.
+        """
+        group = sorted({int(k) for k in keys})
+        if not group:
+            raise ValueError("advertise_many needs at least one key")
+        if tree is None:
+            _, tree = self.net.build_ldt_for_group(group)
+        wave = AdvertisementWave(
+            root_key=tree.root_key,
+            started_at=self.engine.now,
+            expected=tree.num_members,
+            on_complete=on_complete,
+        )
+        span_id = (
+            self.tracer.span_begin(
+                self.engine.now,
+                "protocol.advertise_many",
+                root=tree.root_key,
+                batch=len(group),
+                members=tree.num_members,
+            )
+            if self.tracer.enabled
+            else 0
+        )
+        if tree.num_members == 0:
+            self.tracer.span_end(self.engine.now, span_id, makespan=0.0)
+            if on_complete is not None:
+                on_complete(wave)
+            return wave
+
+        def forward(sender: int) -> None:
+            children = tree.children_of(sender)
+            if children:
+                self.metrics.histogram("ldt.multicast.fanout").observe(len(children))
+            for child in children:
+                self.send(
+                    sender,
+                    child,
+                    "advertise",
+                    deliver=lambda c=child: arrive(c),
+                )
+
+        def arrive(node_key: int) -> None:
+            wave.arrival_times[node_key] = self.engine.now
+            self.tracer.emit(
+                self.engine.now, "advertised", root=tree.root_key, node=node_key
+            )
+            registrant = self.net.nodes.get(node_key)
+            if registrant is not None:
+                from ..overlay.state import StatePair
+
+                # One delivery refreshes every co-hosted subscription.
+                for mk in group:
+                    mobile_node = self.net.nodes.get(mk)
+                    if mobile_node is None or node_key not in mobile_node.registry:
+                        continue
+                    pair = registrant.state.get(mk)
+                    if pair is None:
+                        registrant.state.insert(
+                            StatePair(
+                                key=mk,
+                                addr=mobile_node.address,
+                                ttl=self.net.config.state_ttl,
+                                refreshed_at=self.engine.now,
+                            )
+                        )
+                    else:
+                        pair.refresh(
+                            self.engine.now,
+                            addr=mobile_node.address,
+                            ttl=self.net.config.state_ttl,
+                        )
+            forward(node_key)
+            if wave.complete:
+                self.metrics.histogram("advertise.makespan").observe(wave.makespan)
+                self.tracer.span_end(
+                    self.engine.now, span_id, makespan=wave.makespan
+                )
+                if wave.on_complete is not None:
+                    wave.on_complete(wave)
+
+        forward(tree.root_key)
         return wave
 
     # ------------------------------------------------------------------

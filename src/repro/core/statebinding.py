@@ -15,7 +15,7 @@ trade-off the Table-1 "performance vs reliability" row captures.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, List
+from typing import Callable, List, Optional, Sequence, Set
 
 from ..sim.engine import Engine
 from .bristle import BristleNetwork
@@ -76,7 +76,39 @@ class EarlyBinding(BindingPolicy):
     "Each mobile periodically publishes its state to the registry nodes
     and each registry node also periodically registers itself to the
     mobile node it interested in." (§2.3.2)
+
+    ``host_groups`` optionally declares sets of co-hosted mobile keys (the
+    resources one physical host carries).  Grouped keys refresh through
+    the batched path: one :meth:`LocationDirectory.publish_many` per group
+    (one message per distinct holder), one cached union-LDT wave, and one
+    re-registration message per distinct registrant — O(K + log N) per
+    period instead of O(K · log N).  Ungrouped keys keep the per-key path,
+    with the dissemination tree served from :meth:`BristleNetwork.ldt_for`
+    so an unchanged registry costs no rebuild.
     """
+
+    def __init__(
+        self,
+        net: BristleNetwork,
+        engine: Engine,
+        *,
+        host_groups: Optional[Sequence[Sequence[int]]] = None,
+    ) -> None:
+        super().__init__(net, engine)
+        self.host_groups: List[List[int]] = (
+            [sorted({int(k) for k in g}) for g in host_groups]
+            if host_groups is not None
+            else []
+        )
+        grouped: Set[int] = set()
+        for g in self.host_groups:
+            if not g:
+                raise ValueError("empty host group")
+            dup = grouped.intersection(g)
+            if dup:
+                raise ValueError(f"keys in more than one host group: {sorted(dup)}")
+            grouped.update(g)
+        self._grouped = grouped
 
     def start(self) -> None:
         """Install the periodic two-sided refresh."""
@@ -88,25 +120,69 @@ class EarlyBinding(BindingPolicy):
     def _refresh_all(self) -> None:
         net = self.net
         net.now = self.engine.now
+        for group in self.host_groups:
+            # Departed members (leave_mobile_node) drop out of the group.
+            live = [k for k in group if k in net.nodes]
+            if live:
+                self._refresh_group(live)
         for mk in net.mobile_keys:
-            node = net.nodes[mk]
-            # §2.3.1 note (2): besides the LDT advertisement, the node
-            # "also publishes its state to the location management layer"
-            # so reactive discovery never sees an expired record.
-            holders = net.directory.publish(
-                mk, node.address, now=self.engine.now, ttl=net.config.state_ttl
-            )
-            self.stats.publishes += len(holders)
-            if not node.registry:
+            if mk not in self._grouped:
+                self._refresh_one(mk)
+
+    def _refresh_one(self, mk: int) -> None:
+        net = self.net
+        node = net.nodes[mk]
+        # §2.3.1 note (2): besides the LDT advertisement, the node
+        # "also publishes its state to the location management layer"
+        # so reactive discovery never sees an expired record.
+        holders = net.directory.publish(
+            mk, node.address, now=self.engine.now, ttl=net.config.state_ttl
+        )
+        self.stats.publishes += len(holders)
+        if not node.registry:
+            return
+        # Mobile node advertises its state down the (cached) LDT...
+        tree = net.ldt_for(mk)
+        self.stats.advertisements += tree.message_count
+        for entry in node.registry_entries():
+            registrant = net.nodes.get(entry.key)
+            if registrant is None:
                 continue
-            # Mobile node advertises its state down the LDT...
-            tree = net.build_ldt_for(mk)
-            self.stats.advertisements += tree.message_count
+            # ...registry nodes' caches are renewed...
+            st = registrant.state.get(mk)
+            if st is None:
+                from ..overlay.state import StatePair
+
+                st = registrant.state.insert(
+                    StatePair(key=mk, addr=node.address, ttl=net.config.state_ttl)
+                )
+            st.refresh(self.engine.now, addr=node.address, ttl=net.config.state_ttl)
+            # ...and each registry node re-registers (one message each).
+            self.stats.registrations += 1
+
+    def _refresh_group(self, live: List[int]) -> None:
+        net = self.net
+        result = net.directory.publish_many(
+            {k: net.nodes[k].address for k in live},
+            now=self.engine.now,
+            ttl=net.config.state_ttl,
+        )
+        # Batched publish: one message per distinct stationary holder.
+        self.stats.publishes += result.message_count
+        with_registry = [k for k in live if net.nodes[k].registry]
+        if not with_registry:
+            return
+        # One coalesced wave over the union of the group's registries.
+        _, tree = net.ldt_for_group(live)
+        self.stats.advertisements += tree.message_count
+        group_set = set(live)
+        refreshers: Set[int] = set()
+        for mk in with_registry:
+            node = net.nodes[mk]
             for entry in node.registry_entries():
                 registrant = net.nodes.get(entry.key)
                 if registrant is None:
                     continue
-                # ...registry nodes' caches are renewed...
                 st = registrant.state.get(mk)
                 if st is None:
                     from ..overlay.state import StatePair
@@ -114,9 +190,15 @@ class EarlyBinding(BindingPolicy):
                     st = registrant.state.insert(
                         StatePair(key=mk, addr=node.address, ttl=net.config.state_ttl)
                     )
-                st.refresh(self.engine.now, addr=node.address, ttl=net.config.state_ttl)
-                # ...and each registry node re-registers (one message each).
-                self.stats.registrations += 1
+                st.refresh(
+                    self.engine.now, addr=node.address, ttl=net.config.state_ttl
+                )
+                # Co-hosted registrants renew locally — no network message.
+                if entry.key not in group_set:
+                    refreshers.add(entry.key)
+        # Each registrant re-registers once per period; one message renews
+        # all of its co-hosted subscriptions.
+        self.stats.registrations += len(refreshers)
 
     def lookup(self, registrant: int, mobile_key: int) -> bool:
         """True when the proactively-refreshed cache is usable."""

@@ -10,6 +10,7 @@ from .common import ResultTable, format_float
 from .io import table_from_json, table_to_csv, table_to_json, write_table
 from .plots import ascii_bars, ascii_chart
 from .ext_advertisement import AdvertisementLatencyParams, run_advertisement_latency
+from .ext_batch import BatchUpdateParams, run_batch_update
 from .ext_churn import ChurnOverheadParams, run_churn_overhead
 from .ext_data import DataAvailabilityParams, run_data_availability
 from .ext_naming import BandPlacementParams, run_band_placement
@@ -65,6 +66,8 @@ __all__ = [
     "ascii_chart",
     "AdvertisementLatencyParams",
     "run_advertisement_latency",
+    "BatchUpdateParams",
+    "run_batch_update",
     "ChurnOverheadParams",
     "run_churn_overhead",
     "DataAvailabilityParams",

@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from .bounds import run_eq1_check, run_hop_scaling, run_ldt_depth_scaling
 from .common import ResultTable
 from .ext_advertisement import run_advertisement_latency
+from .ext_batch import BatchUpdateParams, run_batch_update
 from .ext_binding import run_binding_cost, run_staleness_sweep
 from .ext_churn import run_churn_overhead, run_membership_churn
 from .ext_data import run_data_availability
@@ -76,6 +77,24 @@ def _fig9(scale: str) -> ResultTable:
     return run_fig9()
 
 
+def _ext_batch(scale: str) -> ResultTable:
+    if scale == "paper":
+        return run_batch_update(
+            BatchUpdateParams(
+                num_stationary=1024, batch_sizes=(1, 10, 100, 1000, 2000)
+            )
+        )
+    if scale == "quick":
+        return run_batch_update(
+            BatchUpdateParams(
+                num_stationary=128,
+                batch_sizes=(1, 8, 64, 512),
+                router_count=120,
+            )
+        )
+    return run_batch_update()
+
+
 def _table1(scale: str) -> ResultTable:
     if scale == "paper":
         return run_table1(Table1Params(num_stationary=500, num_mobile=500, lookups=2000))
@@ -125,6 +144,10 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[str], ResultTable]]] = {
     "ext-binding": (
         "Extension — early vs late binding trade-off",
         lambda s: run_binding_cost(),
+    ),
+    "ext-batch-update": (
+        "Extension — batched multi-resource location updates",
+        _ext_batch,
     ),
     "ext-churn": (
         "Extension — maintenance overhead vs mobility rate",

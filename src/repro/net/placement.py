@@ -80,6 +80,40 @@ class Placement:
         self.move_count += 1
         return new_addr
 
+    def move_group(
+        self, host_ids: List[int], router: Optional[int] = None
+    ) -> Dict[int, NetworkAddress]:
+        """Move co-hosted hosts to one shared new attachment point.
+
+        A mobile host carrying several resource keys changes attachment
+        point *once*; every key it owns lands on the same router.  One
+        router draw (stream ``"mobility"``) serves the whole group — when
+        ``router`` is omitted a random stub router different from the
+        first host's current one is chosen, mirroring :meth:`move`.
+        Returns host id → new address; every epoch is bumped.
+        """
+        if not host_ids:
+            raise ValueError("move_group needs at least one host")
+        missing = [h for h in host_ids if h not in self._current]
+        if missing:
+            raise KeyError(f"hosts not attached: {missing}")
+        if router is None:
+            anchor = self._current[host_ids[0]].router
+            if len(self._points) == 1:
+                router = self._points[0]
+            else:
+                while True:
+                    router = self._points[self._rng.randint("mobility", 0, len(self._points))]
+                    if router != anchor:
+                        break
+        out: Dict[int, NetworkAddress] = {}
+        for host_id in host_ids:
+            new_addr = self._current[host_id].moved(router)
+            self._current[host_id] = new_addr
+            out[host_id] = new_addr
+            self.move_count += 1
+        return out
+
     def detach(self, host_id: int) -> None:
         """Remove ``host_id`` from the placement (host left the system)."""
         if host_id not in self._current:

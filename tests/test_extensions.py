@@ -332,6 +332,42 @@ class TestScaling:
             assert row["hops clustered"] < row["hops scrambled"]
 
 
+class TestBatchUpdate:
+    @pytest.fixture(scope="class")
+    def table(self):
+        from repro.experiments import BatchUpdateParams, run_batch_update
+
+        return run_batch_update(
+            BatchUpdateParams(
+                num_stationary=96, batch_sizes=(1, 8, 64), router_count=100
+            )
+        )
+
+    def test_reduction_meets_gate_at_largest_k(self, table):
+        """ROADMAP item 3 acceptance: ≥5x message reduction for a
+        many-resource movement."""
+        assert table.rows[-1]["reduction"] >= 5.0
+
+    def test_reduction_grows_with_k(self, table):
+        col = table.column("reduction")
+        assert col[0] == pytest.approx(1.0)
+        assert all(b > a for a, b in zip(col, col[1:]))
+
+    def test_batched_cost_is_k_plus_log_n(self, table):
+        """Batched messages normalised by (K + log₂ N) stay bounded while
+        the per-key baseline grows like K · log N."""
+        for row in table.rows:
+            assert row["batched/(K+log2 N)"] <= 3.0
+
+    def test_deterministic(self):
+        from repro.experiments import BatchUpdateParams, run_batch_update
+
+        params = BatchUpdateParams(
+            num_stationary=64, batch_sizes=(1, 16), router_count=100
+        )
+        assert run_batch_update(params).rows == run_batch_update(params).rows
+
+
 class TestExtensionParamValidation:
     def test_scaling_mobile_share_bounds(self):
         from repro.experiments import ScalingParams, run_scaling

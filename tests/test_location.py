@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import BristleNode, LocationDirectory, RegistrationManager
+from repro.core.location import LocationRecord
 from repro.net import NetworkAddress
 from repro.overlay import ChordOverlay
 from repro.sim import RngStreams
@@ -51,6 +52,31 @@ class TestHolders:
         with pytest.raises(ValueError):
             LocationDirectory(space, stationary_layer, replication=0)
 
+    def test_single_node_layer(self, space):
+        ov = ChordOverlay(space)
+        ov.build([10])
+        d = LocationDirectory(space, ov, replication=3)
+        assert d.holders_for(12345) == [10]
+
+    def test_ring_wrap(self, space):
+        """Replica expansion wraps around the top of the identifier ring."""
+        top = space.size - 10
+        ov = ChordOverlay(space)
+        ov.build([10, 20, top])
+        d = LocationDirectory(space, ov, replication=2)
+        # A key just below the topmost member is owned by it; the replica
+        # expansion's right ring-neighbour wraps around to 10.
+        holders = d.holders_for(top - 3)
+        assert holders == [top, 10]
+
+    def test_holders_for_many_matches_per_key(self, directory, stationary_layer, space):
+        rng = RngStreams(7)
+        keys = [int(k) for k in space.random_keys(rng, "probe", 50)]
+        batched = directory.holders_for_many(keys)
+        assert set(batched) == set(keys)
+        for k in keys:
+            assert batched[k] == directory.holders_for(k)
+
 
 class TestPublishResolve:
     def test_roundtrip(self, directory):
@@ -80,8 +106,38 @@ class TestPublishResolve:
 
     def test_withdraw(self, directory):
         directory.publish(4242, ADDR, now=0.0, ttl=10.0)
-        directory.withdraw(4242)
+        assert directory.withdraw(4242) == 3
         assert directory.resolve(4242, now=0.0) is None
+
+    def test_withdraw_after_stationary_churn(self, directory, stationary_layer):
+        """Satellite 1: withdrawal must target the holders that actually
+        store the record, not ``holders_for`` recomputed after churn."""
+        holders_before = directory.publish(4242, ADDR, now=0.0, ttl=10.0)
+        # Churn: a node arrives right next to the key and takes ownership,
+        # so holders_for(4242) now names a different set.
+        stationary_layer.add_node(4243)
+        assert directory.holders_for(4242)[0] == 4243
+        assert directory.holders_for(4242) != holders_before
+        removed = directory.withdraw(4242)
+        assert removed == len(holders_before)
+        assert directory.resolve(4242, now=0.0) is None
+        assert all(4242 not in store for store in directory._stores.values())
+
+    def test_withdraw_unknown_key_sweeps(self, directory):
+        assert directory.withdraw(999) == 0
+        # Double withdraw is a no-op, not an error.
+        directory.publish(4242, ADDR, now=0.0, ttl=10.0)
+        directory.withdraw(4242)
+        assert directory.withdraw(4242) == 0
+
+    def test_resolve_prefers_freshest_replica(self, directory):
+        holders = directory.publish(4242, ADDR, now=0.0, ttl=100.0)
+        # One replica got a newer record (e.g. a partially-propagated
+        # republish); resolve must prefer it.
+        directory._stores[holders[-1]][4242] = LocationRecord(
+            key=4242, addr=ADDR2, published_at=5.0, ttl=100.0
+        )
+        assert directory.resolve(4242, now=6.0) == ADDR2
 
     def test_replicas_survive_primary_loss(self, directory, stationary_layer):
         """§2.3.2 availability: with k replicas, losing the primary still
@@ -102,9 +158,31 @@ class TestPublishResolve:
         # Remove the primary holder from the layer, then rebalance.
         primary = directory.holders_for(4242)[0]
         stationary_layer.remove_node(primary)
-        directory.rebalance_after_membership_change(stationary_layer.keys, now=0.0)
+        # ``all_keys`` is the set of *records* still alive (mobile keys),
+        # not the stationary membership.
+        directory.rebalance_after_membership_change([4242], now=0.0)
         assert directory.resolve(4242, now=1.0) == ADDR
         assert primary not in directory.holders_for(4242)
+
+    def test_rebalance_prunes_departed_keys(self, directory):
+        directory.publish(4242, ADDR, now=0.0, ttl=10.0)
+        directory.publish(5353, ADDR2, now=0.0, ttl=10.0)
+        # 5353 left the system: it is absent from ``all_keys``.
+        directory.rebalance_after_membership_change([4242], now=0.0)
+        assert directory.resolve(4242, now=1.0) == ADDR
+        assert directory.resolve(5353, now=1.0) is None
+        assert all(5353 not in store for store in directory._stores.values())
+
+    def test_rebalance_drops_expired_leases(self, directory):
+        """Satellite 2: an expired lease must not be resurrected by churn
+        rebalancing."""
+        directory.publish(4242, ADDR, now=0.0, ttl=10.0)
+        directory.publish(5353, ADDR2, now=0.0, ttl=100.0)
+        # 4242's lease is dead at now=50; 5353's is alive.
+        directory.rebalance_after_membership_change(None, now=50.0)
+        assert directory.resolve(4242, now=50.0) is None
+        assert all(4242 not in store for store in directory._stores.values())
+        assert directory.resolve(5353, now=50.0) == ADDR2
 
 
 class TestRegistrationManager:
@@ -122,6 +200,33 @@ class TestRegistrationManager:
         assert 200 in nodes[100].subscriptions
         assert nodes[200].registry[100].capacity == nodes[100].capacity
         assert mgr.registration_count == 1
+
+    def test_register_idempotent(self, nodes):
+        """Satellite 3: re-registering must not double-count."""
+        mgr = RegistrationManager(nodes)
+        assert mgr.register(100, 200) is True
+        assert mgr.register(100, 200) is False
+        assert mgr.registration_count == 1
+        assert len(nodes[200].registry) == 1
+
+    def test_register_refresh_updates_entry(self, nodes):
+        mgr = RegistrationManager(nodes)
+        mgr.register(100, 200, now=0.0)
+        nodes[100].capacity = 9.0
+        mgr.register(100, 200, now=5.0)
+        entry = nodes[200].registry[100]
+        assert entry.capacity == 9.0
+        assert entry.registered_at == 5.0
+        assert mgr.registration_count == 1
+
+    def test_register_from_overlay_rerun_does_not_double_count(self, nodes, space):
+        ov = ChordOverlay(space)
+        ov.build(list(nodes))
+        mgr = RegistrationManager(nodes)
+        first = mgr.register_from_overlay(ov, mobile_only=True)
+        assert first > 0
+        assert mgr.register_from_overlay(ov, mobile_only=True) == 0
+        assert mgr.registration_count == first
 
     def test_unregister(self, nodes):
         mgr = RegistrationManager(nodes)
