@@ -283,11 +283,18 @@ class BristleNetwork:
 
         # --- location management ---------------------------------------------
         self.directory = LocationDirectory(
-            self.space, self.stationary_layer, replication=config.replication
+            self.space,
+            self.stationary_layer,
+            replication=config.replication,
+            ledger=self.telemetry.nodeload,
         )
         self.registrations = RegistrationManager(
             self.nodes, metrics=self.telemetry.metrics
         )
+        # Pre-register the stationary population at zero load so the
+        # ledger's imbalance statistics (Gini, max/mean) range over every
+        # candidate holder, not just the nodes traffic happened to hit.
+        self.telemetry.nodeload.register_nodes(self.stationary_keys)
         #: discovery relays served per stationary holder — the Table-1
         #: "infrastructure load" counter (comparable to Type B's per-agent
         #: packet counts).
@@ -538,6 +545,14 @@ class BristleNetwork:
         m.histogram("ldt.fanout").observe_many(
             len(n.children) for n in tree.nodes.values() if n.children
         )
+        # Ledger: each interior node serves one advertisement copy per
+        # child when this tree disseminates (Fig 4 fan-out served).
+        # Counted once at build time so cached-tree reuse and repeated
+        # waves do not inflate the per-node structural load.
+        ledger = self.telemetry.nodeload
+        for n in tree.nodes.values():
+            if n.children:
+                ledger.add("ldt_fanout", n.key, len(n.children))
         if _sanitize.ACTIVE:
             _sanitize.check_ldt(tree, self.config.unit_advertise_cost)
 
@@ -731,6 +746,7 @@ class BristleNetwork:
         stat_route = self.stationary_layer.route(entry, target_key)
         holder = stat_route.terminus
         self.resolution_load[holder] = self.resolution_load.get(holder, 0) + 1
+        self.telemetry.nodeload.add("detour", holder)
         addr = self.directory.resolve_at(holder, target_key, now=self.now)
         if addr is None:
             # Replica fallback (§2.3.2 availability).

@@ -24,6 +24,7 @@ from ..net.address import NetworkAddress
 from ..overlay.base import Overlay
 from ..overlay.keyspace import KeySpace
 from ..sim.metrics import MetricsRegistry
+from ..sim.nodestats import NodeLoadLedger
 from .node import BristleNode, RegistryEntry
 
 __all__ = [
@@ -96,12 +97,22 @@ class LocationDirectory:
     closest to the one represented the data item").
     """
 
-    def __init__(self, space: KeySpace, stationary_overlay: Overlay, replication: int = 3) -> None:
+    def __init__(
+        self,
+        space: KeySpace,
+        stationary_overlay: Overlay,
+        replication: int = 3,
+        ledger: Optional["NodeLoadLedger"] = None,
+    ) -> None:
         if replication < 1:
             raise ValueError("replication must be >= 1")
         self.space = space
         self.overlay = stationary_overlay
         self.replication = replication
+        #: Optional per-node load ledger; when set, every stored replica
+        #: charges its holder one ``registrations`` unit (§2.3.1 update
+        #: fan-in) so manifests can report who carries the directory.
+        self.ledger = ledger
         # holder key -> {mobile key -> record}
         self._stores: Dict[int, Dict[int, LocationRecord]] = {}
         # mobile key -> holders that actually store its record right now.
@@ -190,6 +201,8 @@ class LocationDirectory:
         for h in holders:
             self._stores.setdefault(h, {})[key] = record
         self._holders_by_key[key] = tuple(holders)
+        if self.ledger is not None:
+            self.ledger.add_many("registrations", holders)
 
     def publish(self, key: int, addr: NetworkAddress, now: float, ttl: float) -> List[int]:
         """Store ``key → addr`` at every holder; returns the holder keys."""

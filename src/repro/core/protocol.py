@@ -74,6 +74,16 @@ class AdvertisementWave:
         return self.completed_at - self.started_at
 
 
+def _wave_path(wave: AdvertisementWave) -> List[List[float]]:
+    """Causal descent record for span attachment: ``[node, arrival]``
+    pairs in arrival order (ties broken by key), tracing the LDT wave
+    front from root to the last registrant."""
+    return [
+        [int(node), t]
+        for node, t in sorted(wave.arrival_times.items(), key=lambda kv: (kv[1], kv[0]))
+    ]
+
+
 @dataclasses.dataclass
 class DiscoveryExchange:
     """State of one in-flight discovery round-trip."""
@@ -238,9 +248,13 @@ class BristleProtocol:
             forward(node_key)
             if wave.complete:
                 self.metrics.histogram("advertise.makespan").observe(wave.makespan)
-                self.tracer.span_end(
-                    self.engine.now, span_id, makespan=wave.makespan
-                )
+                if span_id:
+                    self.tracer.span_end(
+                        self.engine.now,
+                        span_id,
+                        makespan=wave.makespan,
+                        path=_wave_path(wave),
+                    )
                 if wave.on_complete is not None:
                     wave.on_complete(wave)
 
@@ -336,9 +350,13 @@ class BristleProtocol:
             forward(node_key)
             if wave.complete:
                 self.metrics.histogram("advertise.makespan").observe(wave.makespan)
-                self.tracer.span_end(
-                    self.engine.now, span_id, makespan=wave.makespan
-                )
+                if span_id:
+                    self.tracer.span_end(
+                        self.engine.now,
+                        span_id,
+                        makespan=wave.makespan,
+                        path=_wave_path(wave),
+                    )
                 if wave.on_complete is not None:
                     wave.on_complete(wave)
 
@@ -403,13 +421,18 @@ class BristleProtocol:
                     target=target,
                     found=addr is not None,
                 )
-                self.tracer.span_end(
-                    self.engine.now,
-                    span_id,
-                    rtt=exchange.rtt,
-                    hops=exchange.query_hops,
-                    found=addr is not None,
-                )
+                if span_id:
+                    self.tracer.span_end(
+                        self.engine.now,
+                        span_id,
+                        rtt=exchange.rtt,
+                        hops=exchange.query_hops,
+                        found=addr is not None,
+                        path=[
+                            [a, b, self.latency(a, b)]
+                            for a, b in zip(path, path[1:])
+                        ],
+                    )
                 if exchange.on_complete is not None:
                     exchange.on_complete(exchange)
 

@@ -34,8 +34,14 @@ def _record_route_telemetry(
     ``route.resolutions``) always record — cheap O(1) appends; the
     discovery-detour breakdown (``discovery.detour_cost`` /
     ``discovery.detour_hops``, the stationary-layer share of the route)
-    records whenever resolutions happened.  When a span is open it is
-    closed with the route's aggregates.
+    records whenever resolutions happened.  The per-node ledger charges
+    every forwarding node one ``routed`` unit, the final node one
+    ``terminated`` unit on success, and each resolving record holder
+    (Fig 2's Z, the source of a ``deliver`` hop) one ``detour`` unit —
+    pure integer counting, always on.  When a span is open it is closed
+    with the route's aggregates plus the causal hop path (per-hop
+    ``[src, dst, kind, cost]`` records), so one lookup can be traced
+    end-to-end through stationary routing → detour → delivery.
     """
     m = net.telemetry.metrics
     path_cost = trace.path_cost
@@ -54,6 +60,16 @@ def _record_route_telemetry(
                 detour_hops += 1
         m.histogram("discovery.detour_cost").observe(detour_cost)
         m.histogram("discovery.detour_hops").observe(detour_hops)
+    ledger = net.telemetry.nodeload
+    if trace.records:
+        ledger.add_many("routed", (r.src for r in trace.records))
+        if trace.success:
+            ledger.add("terminated", trace.records[-1].dst)
+        for r in trace.records:
+            if r.kind == "deliver":
+                ledger.add("detour", r.src)
+    elif trace.success:
+        ledger.add("terminated", trace.source)
     if span_id:
         net.telemetry.tracer.span_end(
             net.now,
@@ -62,6 +78,7 @@ def _record_route_telemetry(
             cost=path_cost,
             resolutions=trace.resolutions,
             success=trace.success,
+            path=trace.hop_path,
         )
     return trace
 
@@ -109,6 +126,13 @@ class RouteTrace:
         if not self.records:
             return [self.source]
         return [self.records[0].src] + [r.dst for r in self.records]
+
+    @property
+    def hop_path(self) -> List[List[object]]:
+        """Causal per-hop records for span attachment: one
+        ``[src, dst, kind, cost]`` entry per application-level hop, in
+        traversal order — the end-to-end story of this packet."""
+        return [[r.src, r.dst, r.kind, r.cost] for r in self.records]
 
 
 def route_with_resolution(

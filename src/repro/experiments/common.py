@@ -17,6 +17,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Dict, Iterable, List, Mapping, Optional
 
+from ..sim.nodestats import KINDS
 from ..sim.profile import PhaseProfiler
 from ..sim.telemetry import active_telemetry
 
@@ -25,6 +26,7 @@ __all__ = [
     "format_float",
     "driver_profiler",
     "maybe_add_phase_footer",
+    "maybe_add_nodeload_footer",
 ]
 
 #: Shared disabled profiler handed to drivers outside a telemetry session
@@ -57,6 +59,35 @@ def maybe_add_phase_footer(
     tel = active_telemetry()
     if tel is not None and tel.show_phase_footers:
         table.add_footer(tel.profiler.footer_line(phases))
+
+
+def maybe_add_nodeload_footer(
+    table: "ResultTable", kinds: Optional[Iterable[str]] = None
+) -> None:
+    """Append the session's per-node load imbalance as a table footer.
+
+    One line per requested load kind (default: every kind with recorded
+    load), e.g. ``node load [detour]: 421 over 64 nodes, max/mean 3.2x,
+    gini 0.41, top [0x1f=87, ...]``.  Gated exactly like
+    :func:`maybe_add_phase_footer` (the CLI's ``--profile``), so default
+    result tables stay byte-identical with the ledger always on.
+    """
+    tel = active_telemetry()
+    if tel is None or not tel.show_phase_footers:
+        return
+    ledger = tel.nodeload
+    for kind in kinds if kinds is not None else KINDS:
+        stats = ledger.imbalance(kind)
+        if stats["total"] <= 0:
+            continue
+        top = ", ".join(
+            f"{key:#x}={count}" for key, count in ledger.hotspots(kind, 3)
+        )
+        table.add_footer(
+            f"node load [{kind}]: {int(stats['total'])} over "
+            f"{int(stats['nodes'])} nodes, max/mean {stats['max_mean']:.1f}x, "
+            f"gini {stats['gini']:.2f}, top [{top}]"
+        )
 
 
 def format_float(x: Any, precision: int = 3) -> str:

@@ -15,12 +15,11 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional, Sequence
 
-import numpy as np
-
 from ..core.bristle import BristleNetwork
 from ..core.config import BristleConfig
 from ..core.protocol import BristleProtocol
 from ..sim.engine import Engine
+from ..sim.metrics import summarize
 from .common import ResultTable
 
 __all__ = ["AdvertisementLatencyParams", "run_advertisement_latency"]
@@ -80,14 +79,17 @@ def run_advertisement_latency(
             makespans.append(wave.makespan)
             depths.append(tree.depth)
             messages.append(tree.message_count)
-        baselines[max_cap] = float(np.mean(makespans))
+        # All percentile/mean reporting flows through the shared summary
+        # helper (same NumPy conventions, one code path repo-wide).
+        makespan_summary = summarize(makespans)
+        baselines[max_cap] = makespan_summary.mean
         table.add_row(
             **{
                 "MAX": max_cap,
-                "mean makespan": float(np.mean(makespans)),
-                "p95 makespan": float(np.percentile(makespans, 95)),
-                "mean depth": float(np.mean(depths)),
-                "messages/wave": float(np.mean(messages)),
+                "mean makespan": makespan_summary.mean,
+                "p95 makespan": makespan_summary.p95,
+                "mean depth": summarize(depths).mean,
+                "messages/wave": summarize(messages).mean,
                 "makespan vs MAX=15 (x)": 0.0,  # filled below
             }
         )

@@ -1,0 +1,181 @@
+"""Extension experiment: hotspot load under Zipf-skewed discovery traffic.
+
+"Rendezvous Regions"-style location services concentrate load on the
+nodes responsible for popular keys; Bristle's §2.3.2 discovery has the
+same exposure — every lookup for a mobile key detours through the
+stationary record holder closest to that key.  This experiment drives a
+Zipf-popular discovery workload (rank-``r`` mobile key drawn with
+probability ∝ ``1/(r+1)^s``) against every stationary-layer substrate
+and reports how unevenly the resolution load lands: max/mean hotspot
+ratio, Gini coefficient, the share absorbed by the single hottest
+holder, and the discovery-hop tail (p50/p99 from a
+:class:`~repro.sim.metrics.QuantileSketch`, the O(1)-memory estimator).
+
+Each overlay is one independent :func:`~repro.experiments.parallel.sweep_map`
+point with its own derived seed, so the sweep parallelises and merges its
+telemetry (including the per-node ledger) exactly like the other drivers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.bristle import BristleNetwork
+from ..core.config import BristleConfig
+from ..net.underlay import build_underlay, shared_underlay_cache
+from ..overlay.factory import OVERLAY_NAMES
+from ..sim.metrics import QuantileSketch
+from ..sim.nodestats import imbalance_stats
+from ..sim.rng import derive_seed
+from .common import (
+    ResultTable,
+    driver_profiler,
+    maybe_add_nodeload_footer,
+    maybe_add_phase_footer,
+)
+from .parallel import active_sweep, derive_point_seeds, sweep_map
+
+__all__ = ["HotspotParams", "run_hotspot_load"]
+
+
+@dataclasses.dataclass(frozen=True)
+class HotspotParams:
+    """Sweep configuration for the hotspot-load experiment."""
+
+    num_stationary: int = 192
+    num_mobile: int = 96
+    lookups: int = 1200
+    zipf_s: float = 1.1
+    router_count: int = 250
+    seed: int = 47
+
+    @classmethod
+    def quick_scale(cls) -> "HotspotParams":
+        """Reduced sizing for CI smoke runs."""
+        return cls(num_stationary=64, num_mobile=32, lookups=300, router_count=120)
+
+
+@dataclasses.dataclass(frozen=True)
+class _HotspotPoint:
+    """One stationary-overlay cell of the hotspot sweep."""
+
+    overlay: str
+    num_stationary: int
+    num_mobile: int
+    lookups: int
+    zipf_s: float
+    router_count: int
+    underlay_seed: int
+    seed: int
+    reuse_underlay: bool
+
+
+def _hotspot_point(pt: _HotspotPoint) -> Dict[str, float]:
+    """Module-level (picklable) per-overlay worker for :func:`sweep_map`."""
+    prof = driver_profiler()
+    bundle = (
+        shared_underlay_cache().get(pt.underlay_seed, pt.router_count)
+        if pt.reuse_underlay
+        else build_underlay(pt.underlay_seed, pt.router_count)
+    )
+    cfg = BristleConfig(
+        seed=pt.seed, naming="scrambled", stationary_layer_overlay=pt.overlay
+    )
+    with prof.phase("build"):
+        net = BristleNetwork(
+            cfg, pt.num_stationary, pt.num_mobile, underlay=bundle
+        )
+        for mk in net.mobile_keys:
+            net.move(mk, advertise=False)
+    # Zipf-ranked popularity over the mobile population: rank r drawn with
+    # probability ∝ 1/(r+1)^s, sampled by inverse CDF so one uniform draw
+    # per lookup fully determines the target (deterministic given the
+    # seeded stream, whatever process runs this point).
+    ranks = np.arange(1, pt.num_mobile + 1, dtype=np.float64)
+    weights = ranks ** (-pt.zipf_s)
+    cdf = np.cumsum(weights) / weights.sum()
+    gen = net.rng.stream("hotspot.lookups")
+    srcs = gen.integers(pt.num_stationary, size=pt.lookups)
+    targets = np.searchsorted(cdf, gen.random(pt.lookups), side="right")
+    hop_sketch = QuantileSketch()
+    with prof.phase("measure"):
+        for si, ti in zip(srcs.tolist(), targets.tolist()):
+            d = net.discover(net.stationary_keys[int(si)], net.mobile_keys[int(ti)])
+            assert d.found
+            hop_sketch.observe(d.hop_count)
+    # Per-overlay hotspot statistics over the *whole* stationary
+    # population (zero-filled), from this network's private detour tally.
+    loads = np.zeros(pt.num_stationary, dtype=np.float64)
+    index = {k: i for i, k in enumerate(net.stationary_keys)}
+    for holder, count in net.resolution_load.items():
+        loads[index[holder]] = count
+    stats = imbalance_stats(loads)
+    return {
+        "detours": stats["total"],
+        "max_mean": stats["max_mean"],
+        "gini": stats["gini"],
+        "top_share": (loads.max() / stats["total"]) if stats["total"] else 0.0,
+        "hops_p50": hop_sketch.quantile(50),
+        "hops_p99": hop_sketch.quantile(99),
+    }
+
+
+def run_hotspot_load(params: Optional[HotspotParams] = None) -> ResultTable:
+    """Hotspot load vs stationary-overlay choice under Zipf lookups."""
+    p = params if params is not None else HotspotParams()
+    table = ResultTable(
+        title="Extension — hotspot load under Zipf-skewed discovery",
+        columns=[
+            "overlay",
+            "detours",
+            "max/mean",
+            "gini",
+            "top-1 share (%)",
+            "hops p50",
+            "hops p99",
+        ],
+        notes=[
+            f"{p.num_stationary}+{p.num_mobile} nodes, {p.lookups} Zipf "
+            f"(s={p.zipf_s}) discoveries per substrate; load = resolution "
+            "detours served per stationary holder; hop tail via streaming "
+            "quantile sketch",
+        ],
+    )
+    sweep = active_sweep()
+    underlay_seed = derive_seed(p.seed, "underlay")
+    seeds = derive_point_seeds(p.seed, list(OVERLAY_NAMES))
+    if sweep.reuse_underlay:
+        shared_underlay_cache().get(underlay_seed, p.router_count)
+    points = [
+        _HotspotPoint(
+            overlay=overlay,
+            num_stationary=p.num_stationary,
+            num_mobile=p.num_mobile,
+            lookups=p.lookups,
+            zipf_s=p.zipf_s,
+            router_count=p.router_count,
+            underlay_seed=underlay_seed,
+            seed=seeds[(overlay, "")],
+            reuse_underlay=sweep.reuse_underlay,
+        )
+        for overlay in OVERLAY_NAMES
+    ]
+    results = sweep_map(_hotspot_point, points)
+    for overlay, r in zip(OVERLAY_NAMES, results):
+        table.add_row(
+            **{
+                "overlay": overlay,
+                "detours": int(r["detours"]),
+                "max/mean": r["max_mean"],
+                "gini": r["gini"],
+                "top-1 share (%)": 100.0 * r["top_share"],
+                "hops p50": r["hops_p50"],
+                "hops p99": r["hops_p99"],
+            }
+        )
+    maybe_add_phase_footer(table, ("build", "measure"))
+    maybe_add_nodeload_footer(table, ("detour", "registrations"))
+    return table

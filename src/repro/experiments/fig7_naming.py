@@ -31,7 +31,12 @@ from ..sim.metrics import record_cache_stats
 from ..sim.rng import derive_seed
 from ..sim.telemetry import active_telemetry
 from ..workloads.routes import sample_stationary_pairs
-from .common import ResultTable, driver_profiler, maybe_add_phase_footer
+from .common import (
+    ResultTable,
+    driver_profiler,
+    maybe_add_nodeload_footer,
+    maybe_add_phase_footer,
+)
 from .parallel import active_sweep, derive_point_seeds, sweep_map
 
 __all__ = ["Fig7Params", "measure_naming_scheme", "run_fig7"]
@@ -260,4 +265,5 @@ def run_fig7(params: Optional[Fig7Params] = None) -> ResultTable:
         # the run manifest's cache_stats section covers this experiment.
         record_cache_stats(tel.metrics, cache_totals, ratios=("hit_rate",))
     maybe_add_phase_footer(table, ("build", "warmup", "route"))
+    maybe_add_nodeload_footer(table, ("routed", "detour"))
     return table

@@ -37,7 +37,10 @@ MANIFEST_KIND = "repro-run-manifest"
 
 #: Bumped on incompatible manifest layout changes.
 #: v2 added the parallel-sweep fields ``jobs`` and ``underlay_reuse``.
-MANIFEST_SCHEMA_VERSION = 2
+#: v3 added the per-node ``node_load`` section (imbalance stats + top-k
+#: hotspots per load kind) and ``tail_latency`` (per-histogram
+#: p50/p95/p99/p999 sketch estimates).
+MANIFEST_SCHEMA_VERSION = 3
 
 
 class ManifestError(ValueError):
@@ -123,6 +126,8 @@ def build_manifest(
             for k, v in snapshot.items()
             if k.startswith("oracle.")
         },
+        "node_load": telemetry.nodeload.manifest_section(),
+        "tail_latency": telemetry.metrics.tail_latency_section(),
         "metrics": snapshot,
     }
     if extra:
@@ -183,8 +188,66 @@ def validate_manifest(payload: Any) -> Dict[str, Any]:
                 problems.append(f"{field}[{k!r}] must be numeric or null, got {_type_name(v)}")
             if isinstance(v, float) and not math.isfinite(v):
                 problems.append(f"{field}[{k!r}] must be finite or null")
+    if isinstance(version, int) and version >= 3:
+        problems.extend(_check_node_load(payload.get("node_load")))
+        problems.extend(_check_tail_latency(payload.get("tail_latency")))
     if "created_utc" in payload and not isinstance(payload["created_utc"], str):
         problems.append("created_utc must be an ISO-8601 string")
     if problems:
         raise ManifestError("; ".join(problems))
     return payload
+
+
+#: Imbalance statistics every ``node_load`` kind entry must carry.
+_NODE_LOAD_STATS = ("nodes", "total", "mean", "max", "max_mean", "gini")
+
+
+def _check_node_load(section: Any) -> list:
+    """Schema-v3 check for the ``node_load`` section; returns problems."""
+    problems = []
+    if not isinstance(section, dict):
+        return [f"node_load must be an object, got {_type_name(section)}"]
+    for kind, entry in section.items():
+        if not isinstance(entry, dict):
+            problems.append(f"node_load[{kind!r}] must be an object")
+            continue
+        for stat in _NODE_LOAD_STATS:
+            v = entry.get(stat)
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                problems.append(f"node_load[{kind!r}].{stat} must be numeric")
+            elif isinstance(v, float) and not math.isfinite(v):
+                problems.append(f"node_load[{kind!r}].{stat} must be finite")
+        top = entry.get("top")
+        if not isinstance(top, list) or not all(
+            isinstance(row, list)
+            and len(row) == 2
+            and all(isinstance(x, int) and not isinstance(x, bool) for x in row)
+            for row in top
+        ):
+            problems.append(
+                f"node_load[{kind!r}].top must be a list of [key, count] int pairs"
+            )
+    return problems
+
+
+def _check_tail_latency(section: Any) -> list:
+    """Schema-v3 check for the ``tail_latency`` section; returns problems."""
+    problems = []
+    if not isinstance(section, dict):
+        return [f"tail_latency must be an object, got {_type_name(section)}"]
+    for name, entry in section.items():
+        if not isinstance(entry, dict):
+            problems.append(f"tail_latency[{name!r}] must be an object")
+            continue
+        for q in ("p50", "p95", "p99", "p999"):
+            if q not in entry:
+                problems.append(f"tail_latency[{name!r}] missing {q}")
+                continue
+            v = entry[q]
+            if v is not None and (
+                not isinstance(v, (int, float)) or isinstance(v, bool)
+            ):
+                problems.append(f"tail_latency[{name!r}].{q} must be numeric or null")
+            elif isinstance(v, float) and not math.isfinite(v):
+                problems.append(f"tail_latency[{name!r}].{q} must be finite or null")
+    return problems

@@ -18,6 +18,7 @@ from .ext_batch import BatchUpdateParams, run_batch_update
 from .ext_binding import run_binding_cost, run_staleness_sweep
 from .ext_churn import run_churn_overhead, run_membership_churn
 from .ext_data import run_data_availability
+from .ext_hotspot import HotspotParams, run_hotspot_load
 from .ext_naming import run_band_placement
 from .ext_overlay_choice import run_ipv6_route_optimisation, run_overlay_choice
 from .ext_proximity import run_proximity_routing
@@ -111,6 +112,16 @@ def _fig3_trees(scale: str) -> ResultTable:
     return run_fig3_tree_sizes(num_stationary=120 if scale == "quick" else 300)
 
 
+def _ext_hotspot(scale: str) -> ResultTable:
+    if scale == "paper":
+        return run_hotspot_load(
+            HotspotParams(num_stationary=512, num_mobile=256, lookups=5000)
+        )
+    if scale == "quick":
+        return run_hotspot_load(HotspotParams.quick_scale())
+    return run_hotspot_load()
+
+
 #: name → (description, runner).  Runner takes scale in
 #: {"quick", "default", "paper"}.
 EXPERIMENTS: Dict[str, Tuple[str, Callable[[str], ResultTable]]] = {
@@ -184,6 +195,10 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[str], ResultTable]]] = {
     "ext-scaling": (
         "Extension — end-to-end scaling in N",
         lambda s: run_scaling(),
+    ),
+    "ext-hotspot": (
+        "Extension — hotspot load under Zipf-skewed discovery",
+        _ext_hotspot,
     ),
 }
 

@@ -32,7 +32,12 @@ import numpy as np
 from ..core.routing import route_with_resolution
 from ..net.underlay import shared_underlay_cache
 from ..workloads.scenarios import ComparisonScenario, build_comparison_scenario
-from .common import ResultTable, driver_profiler, maybe_add_phase_footer
+from .common import (
+    ResultTable,
+    driver_profiler,
+    maybe_add_nodeload_footer,
+    maybe_add_phase_footer,
+)
 from .parallel import active_sweep, sweep_map
 
 __all__ = ["Table1Params", "run_table1"]
@@ -275,4 +280,5 @@ def run_table1(params: Optional[Table1Params] = None) -> ResultTable:
             }
         )
     maybe_add_phase_footer(table, ("build", "measure"))
+    maybe_add_nodeload_footer(table, ("detour", "registrations"))
     return table

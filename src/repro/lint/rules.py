@@ -651,6 +651,110 @@ class RebuildInRepairHook(Rule):
                     )
 
 
+# ----------------------------------------------------------------------
+# BRS008 — unbounded per-sample accumulation in a metric class
+# ----------------------------------------------------------------------
+#: Method names that record one observation per event; a list growing
+#: inside one of these grows with the event count, not the node count.
+_RECORD_METHODS = {"observe", "observe_many", "record", "add_sample", "sample"}
+
+#: The one allow-listed accumulator: ``Histogram``'s exact-percentile
+#: oracle in :mod:`repro.sim.metrics` (kept deliberately, as the parity
+#: reference for the O(1)-memory quantile sketch).
+_SAMPLE_LIST_ALLOWED_MODULES = (("repro", "sim", "metrics"),)
+
+
+def _empty_list_attrs(cls: ast.ClassDef) -> Set[str]:
+    """Attribute names bound to ``[]`` / ``list()`` in ``__init__``."""
+    attrs: Set[str] = set()
+    for fn in cls.body:
+        if not (
+            isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and fn.name == "__init__"
+        ):
+            continue
+        for node in _walk_function_body(fn):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = node.value
+            is_empty_list = (
+                isinstance(value, ast.List) and not value.elts
+            ) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id == "list"
+                and not value.args
+                and not value.keywords
+            )
+            if not is_empty_list:
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    attrs.add(target.attr)
+    return attrs
+
+
+class UnboundedSampleList(Rule):
+    """BRS008: metric-style classes must not grow a per-sample list inside
+    their recording methods — memory then scales with the event count.
+    Use the fixed-memory :class:`repro.sim.metrics.QuantileSketch` (or a
+    bounded ``deque(maxlen=...)``); the exact-oracle ``Histogram`` path in
+    ``repro.sim.metrics`` is the single allow-listed exception."""
+
+    code = "BRS008"
+    name = "unbounded-sample-list"
+    summary = (
+        "per-sample list.append/extend inside observe/record methods grows "
+        "without bound: use QuantileSketch or a bounded deque "
+        "(repro/sim/metrics.py exact oracle only)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Flag ``self.<list-attr>.append/extend`` in recording methods."""
+        if any(ctx.is_module(*m) for m in _SAMPLE_LIST_ALLOWED_MODULES):
+            return
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            list_attrs = _empty_list_attrs(cls)
+            if not list_attrs:
+                continue
+            for fn in cls.body:
+                if not (
+                    isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and fn.name in _RECORD_METHODS
+                ):
+                    continue
+                for node in _walk_function_body(fn):
+                    if not (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in ("append", "extend")
+                    ):
+                        continue
+                    target = node.func.value
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and target.attr in list_attrs
+                    ):
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"{cls.name}.{fn.name}() grows self."
+                            f"{target.attr} per sample: unbounded memory — "
+                            "use QuantileSketch / a bounded deque(maxlen=...)",
+                        )
+
+
 #: Registry: code → rule instance, in code order.
 RULES: Dict[str, Rule] = {
     rule.code: rule
@@ -662,5 +766,6 @@ RULES: Dict[str, Rule] = {
         UnorderedDrawPopulation(),
         SeedArithmetic(),
         RebuildInRepairHook(),
+        UnboundedSampleList(),
     )
 }

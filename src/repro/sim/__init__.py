@@ -12,11 +12,13 @@ from .metrics import (
     Counter,
     Histogram,
     MetricsRegistry,
+    QuantileSketch,
     Summary,
     TimeSeries,
     record_cache_stats,
     summarize,
 )
+from .nodestats import KINDS, NodeLoadLedger, gini, imbalance_stats, top_hotspots
 from .profile import PhaseProfiler
 from .rng import RngStreams, derive_seed
 from .telemetry import Telemetry, active_telemetry, telemetry_session
@@ -32,10 +34,16 @@ __all__ = [
     "Counter",
     "Histogram",
     "MetricsRegistry",
+    "QuantileSketch",
     "record_cache_stats",
     "Summary",
     "TimeSeries",
     "summarize",
+    "KINDS",
+    "NodeLoadLedger",
+    "gini",
+    "imbalance_stats",
+    "top_hotspots",
     "PhaseProfiler",
     "RngStreams",
     "derive_seed",

@@ -22,6 +22,7 @@ import contextlib
 from typing import Any, Dict, Iterator, List, Mapping, Optional
 
 from .metrics import MetricsRegistry
+from .nodestats import NodeLoadLedger
 from .profile import PhaseProfiler
 from .trace import Tracer
 
@@ -59,6 +60,10 @@ class Telemetry:
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.profiler = profiler if profiler is not None else PhaseProfiler()
+        #: Per-node load accounting (messages routed/terminated,
+        #: registrations held, LDT fan-out, detours served) — always on;
+        #: recording is pure integer counting so it cannot perturb results.
+        self.nodeload = NodeLoadLedger()
         self.show_phase_footers = show_phase_footers
         #: Summaries of every network built under this telemetry (seed,
         #: populations, config) — the manifest's provenance section.
@@ -95,6 +100,7 @@ class Telemetry:
         return {
             "metrics": self.metrics.export_state(),
             "profiler": self.profiler.export_state(),
+            "nodeload": self.nodeload.export_state(),
             "networks": [dict(n) for n in self.networks],
             "network_count": self._network_count,
         }
@@ -109,6 +115,7 @@ class Telemetry:
         """
         self.metrics.merge_state(state.get("metrics", {}))
         self.profiler.merge_state(state.get("profiler", {}))
+        self.nodeload.merge_state(state.get("nodeload", {}))
         for info in state.get("networks", []):
             if len(self.networks) < MAX_NETWORK_NOTES:
                 self.networks.append(dict(info))

@@ -1,0 +1,171 @@
+"""Tests for the bench-trajectory comparator (:mod:`repro.bench_report`)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.bench_report import (
+    GATES,
+    Gate,
+    build_verdict,
+    compare_family,
+    discover_benchmarks,
+    flatten_numeric,
+    main as bench_report_main,
+    render_markdown,
+)
+
+
+class TestFlatten:
+    def test_nested_and_lists(self):
+        flat = flatten_numeric(
+            {"a": {"b": 1, "c": [2.0, 3.0]}, "d": 4, "skip": "text"}
+        )
+        assert flat == {"a.b": 1.0, "a.c.0": 2.0, "a.c.1": 3.0, "d": 4.0}
+
+    def test_bools_and_nonfinite_skipped(self):
+        flat = flatten_numeric({"ok": True, "nan": math.nan, "inf": math.inf, "x": 5})
+        assert flat == {"x": 5.0}
+
+
+class TestGates:
+    def test_lower_gate_regresses_on_increase(self):
+        rows = compare_family(
+            "obs",
+            {"accuracy": {"uniform": {"rel_err_p99": 0.002}}},
+            {"accuracy": {"uniform": {"rel_err_p99": 0.005}}},
+        )
+        (row,) = rows
+        assert row.status == "regressed"
+
+    def test_lower_gate_within_tolerance_ok(self):
+        rows = compare_family(
+            "obs",
+            {"accuracy": {"uniform": {"rel_err_p99": 0.002}}},
+            {"accuracy": {"uniform": {"rel_err_p99": 0.00215}}},
+        )
+        assert rows[0].status == "ok"
+
+    def test_equal_gate_flags_any_drift(self):
+        rows = compare_family(
+            "obs",
+            {"hotspot": {"chord": {"gini": 0.851146}}},
+            {"hotspot": {"chord": {"gini": 0.851148}}},
+        )
+        assert rows[0].status == "regressed"
+
+    def test_higher_gate_regresses_on_decrease(self):
+        rows = compare_family(
+            "batch",
+            {"per_k": {"64": {"reduction": 0.9}}},
+            {"per_k": {"64": {"reduction": 0.5}}},
+        )
+        assert rows[0].status == "regressed"
+
+    def test_ungated_paths_are_info(self):
+        rows = compare_family(
+            "obs",
+            {"throughput": {"sketch_observe_mps": 20.0}},
+            {"throughput": {"sketch_observe_mps": 1.0}},
+        )
+        # Timings never gate: a 20x slowdown is still only informational.
+        assert rows[0].status == "info"
+
+    def test_gated_rows_sort_first(self):
+        rows = compare_family(
+            "obs",
+            {
+                "accuracy": {"uniform": {"rel_err_p50": 0.001, "observe_mps": 20}},
+            },
+            {
+                "accuracy": {"uniform": {"rel_err_p50": 0.001, "observe_mps": 25}},
+            },
+        )
+        assert [r.status for r in rows] == ["ok", "info"]
+
+    def test_gate_registry_shape(self):
+        for family, gates in GATES.items():
+            for gate in gates:
+                assert isinstance(gate, Gate)
+                assert gate.direction in ("lower", "higher", "equal")
+                assert gate.tolerance >= 0
+
+
+class TestVerdict:
+    def _write(self, directory, family, payload):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / f"BENCH_{family}.json").write_text(json.dumps(payload))
+
+    def test_pass_and_regress_end_to_end(self, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        payload = {"accuracy": {"zipf": {"rel_err_p999": 0.004}}}
+        self._write(base, "obs", payload)
+        self._write(cur, "obs", {"accuracy": {"zipf": {"rel_err_p999": 0.009}}})
+        verdict, rows = build_verdict(str(cur), str(base))
+        assert not verdict["ok"]
+        assert verdict["regressions"] == ["obs:accuracy.zipf.rel_err_p999"]
+        assert verdict["families"]["obs"]["status"] == "regressed"
+
+        self._write(cur, "obs", payload)
+        verdict, rows = build_verdict(str(cur), str(base))
+        assert verdict["ok"]
+        assert verdict["families"]["obs"]["status"] == "ok"
+
+    def test_missing_baseline_is_informational(self, tmp_path):
+        cur = tmp_path / "cur"
+        self._write(cur, "churn", {"repair_ms": 3.0})
+        verdict, _ = build_verdict(str(cur), str(tmp_path / "nowhere"))
+        assert verdict["ok"]
+        assert verdict["families"]["churn"]["status"] == "no-baseline"
+
+    def test_baseline_only_family(self, tmp_path):
+        base = tmp_path / "base"
+        self._write(base, "obs", {"x": 1})
+        verdict, _ = build_verdict(str(tmp_path / "empty"), str(base))
+        assert verdict["ok"]
+        assert verdict["families"]["obs"]["status"] == "baseline-only"
+
+    def test_discover_ignores_other_json(self, tmp_path):
+        self._write(tmp_path, "obs", {"x": 1})
+        (tmp_path / "other.json").write_text("{}")
+        assert sorted(discover_benchmarks(str(tmp_path))) == ["obs"]
+
+    def test_markdown_render(self, tmp_path):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        self._write(base, "obs", {"hotspot": {"can": {"gini": 0.88}}})
+        self._write(cur, "obs", {"hotspot": {"can": {"gini": 0.88}}})
+        verdict, rows = build_verdict(str(cur), str(base))
+        md = render_markdown(verdict, rows)
+        assert "**Verdict: PASS**" in md
+        assert "`hotspot.can.gini`" in md
+        assert "| metric | baseline | current |" in md
+
+    def test_cli_exit_codes_and_artifacts(self, tmp_path, capsys):
+        base, cur = tmp_path / "base", tmp_path / "cur"
+        self._write(base, "obs", {"accuracy": {"u": {"rel_err_p50": 0.001}}})
+        self._write(cur, "obs", {"accuracy": {"u": {"rel_err_p50": 0.5}}})
+        out_md = tmp_path / "verdict.md"
+        out_json = tmp_path / "verdict.json"
+        code = bench_report_main(
+            [
+                "--results", str(cur),
+                "--baseline", str(base),
+                "--out", str(out_md),
+                "--json", str(out_json),
+                "--fail-on-regression",
+            ]
+        )
+        assert code == 1
+        assert "REGRESSED" in out_md.read_text()
+        payload = json.loads(out_json.read_text())
+        assert payload["kind"] == "repro-bench-verdict"
+        assert not payload["ok"]
+        capsys.readouterr()
+
+        # Same trajectories on both sides: exit 0.
+        code = bench_report_main(
+            ["--results", str(base), "--baseline", str(base), "--fail-on-regression"]
+        )
+        assert code == 0
+        capsys.readouterr()

@@ -466,6 +466,112 @@ class TestRebuildInRepairHook:
 
 
 # ----------------------------------------------------------------------
+# BRS008 — unbounded per-sample list accumulation
+# ----------------------------------------------------------------------
+class TestUnboundedSampleList:
+    def test_append_in_observe_fires(self):
+        found = lint(
+            """
+            class LatencyTracker:
+                def __init__(self):
+                    self._samples = []
+
+                def observe(self, value):
+                    self._samples.append(float(value))
+            """,
+            path="repro/core/tracker.py",
+        )
+        assert codes(found) == ["BRS008"]
+        assert "unbounded" in found[0].message
+
+    def test_extend_in_observe_many_fires(self):
+        found = lint(
+            """
+            class Recorder:
+                def __init__(self):
+                    self.values = list()
+
+                def observe_many(self, batch):
+                    self.values.extend(batch)
+            """,
+            path="repro/sim/recorder.py",
+        )
+        assert codes(found) == ["BRS008"]
+
+    def test_record_into_annotated_list_fires(self):
+        found = lint(
+            """
+            class Stats:
+                def __init__(self):
+                    self._raw: List[float] = []
+
+                def record(self, v):
+                    self._raw.append(v)
+            """,
+            path="repro/experiments/stats.py",
+        )
+        assert codes(found) == ["BRS008"]
+
+    def test_exact_oracle_module_allowlisted(self):
+        found = lint(
+            """
+            class Histogram:
+                def __init__(self):
+                    self._samples = []
+
+                def observe(self, value):
+                    self._samples.append(float(value))
+            """,
+            path="repro/sim/metrics.py",
+        )
+        assert found == []
+
+    def test_bounded_deque_clean(self):
+        found = lint(
+            """
+            import collections
+
+            class Tracker:
+                def __init__(self):
+                    self._recent = collections.deque(maxlen=128)
+
+                def observe(self, value):
+                    self._recent.append(value)
+            """,
+            path="repro/core/tracker.py",
+        )
+        assert found == []
+
+    def test_append_outside_record_methods_clean(self):
+        found = lint(
+            """
+            class TableBuilder:
+                def __init__(self):
+                    self.rows = []
+
+                def add_row(self, row):
+                    self.rows.append(row)
+            """,
+            path="repro/experiments/common2.py",
+        )
+        assert found == []
+
+    def test_suppression_with_reason_honoured(self):
+        found = lint(
+            """
+            class Oracle:
+                def __init__(self):
+                    self._all = []
+
+                def observe(self, v):
+                    self._all.append(v)  # repro-lint: disable=BRS008 parity oracle for tests
+            """,
+            path="repro/core/oracle.py",
+        )
+        assert found == []
+
+
+# ----------------------------------------------------------------------
 # Suppressions
 # ----------------------------------------------------------------------
 class TestSuppressions:
@@ -544,10 +650,10 @@ class TestEngine:
         with pytest.raises(ValueError):
             lint_source("x = 1\n", select=["BRS999"])
 
-    def test_registry_lists_seven_rules(self):
+    def test_registry_lists_eight_rules(self):
         assert sorted(RULES) == [
             "BRS001", "BRS002", "BRS003", "BRS004", "BRS005", "BRS006",
-            "BRS007",
+            "BRS007", "BRS008",
         ]
         for code, rule in RULES.items():
             assert rule.code == code
