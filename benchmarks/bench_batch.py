@@ -10,7 +10,11 @@ co-hosted resource keys this measures, per batch size K:
   O(K + log N));
 * **publishes/sec** — wall-clock throughput of K sequential
   ``LocationDirectory.publish`` calls against one ``publish_many``
-  (the vectorised ``holders_for_many`` grouping).
+  (the vectorised ``holders_for_many`` grouping);
+* **shared multicast hops** — the routed cost of delivering the batch:
+  one full overlay traversal per distinct holder (baseline) against one
+  shared ring multicast that enters the layer once and travels
+  holder-to-holder (``shared_multicast_hops``).
 
 Writes
 
@@ -74,6 +78,14 @@ def bench_batch_size(net: BristleNetwork, k: int, repeats: int) -> Dict[str, obj
     batched_msgs = report.total_messages
     log2n = math.log2(net.num_nodes)
 
+    # Routed delivery cost: one overlay traversal per distinct holder
+    # (baseline) vs the shared ring multicast move_many accounts for.
+    entry = net.stationary_layer.owner_of(group[0])
+    per_holder_hops = sum(
+        net.stationary_layer.route(entry, h).hop_count
+        for h in report.publish.holder_batches
+    )
+
     # Publish throughput: K sequential publishes vs one batched publish,
     # refreshing the records just moved (state is identical either way).
     updates = {mk: net.nodes[mk].address for mk in group}
@@ -97,6 +109,13 @@ def bench_batch_size(net: BristleNetwork, k: int, repeats: int) -> Dict[str, obj
         "distinct_holders": report.publish_messages,
         "union_registrants": report.ldt.num_members if report.ldt is not None else 0,
         "batched_norm": round(batched_msgs / (k + log2n), 3),
+        "multicast_hops": report.multicast_hops,
+        "per_holder_route_hops": per_holder_hops,
+        "multicast_reduction": (
+            round(per_holder_hops / report.multicast_hops, 2)
+            if report.multicast_hops
+            else None
+        ),
         "seq_publish_s": round(seq_s, 6),
         "batch_publish_s": round(bat_s, 6),
         "seq_publishes_per_sec": round(k / seq_s, 1) if seq_s else None,
@@ -156,13 +175,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"({num_stationary} stationary, scale={args.scale})",
         "",
         f"  {'K':>6} {'per-key msgs':>13} {'batched msgs':>13} {'reduction':>10} "
-        f"{'norm':>6} {'seq pub/s':>11} {'batch pub/s':>12}",
+        f"{'norm':>6} {'mcast hops':>11} {'per-holder':>11} "
+        f"{'seq pub/s':>11} {'batch pub/s':>12}",
     ]
     for k in batch_sizes:
         r = per_k[str(k)]
         lines.append(
             f"  {k:>6} {r['per_key_msgs']:>13} {r['batched_msgs']:>13} "
             f"{r['reduction']:>9.1f}x {r['batched_norm']:>6.2f} "
+            f"{r['multicast_hops']:>11} {r['per_holder_route_hops']:>11} "
             f"{r['seq_publishes_per_sec']:>11.0f} {r['batch_publishes_per_sec']:>12.0f}"
         )
     if args.sanitize:

@@ -1,0 +1,215 @@
+"""Columnar-engine scale benchmark: million-node churn + lookup trajectory.
+
+The columnar state engine (``repro.sim.columnar``) replaces per-node
+Python objects with struct-of-arrays tables so the §2 location-management
+workload runs at populations the object model cannot touch.  This
+harness measures it two ways:
+
+* **determinism** — a fixed-size scenario run serially and keyspace-
+  sharded must merge to bit-identical snapshots; the stats and the
+  (integer-folded) snapshot checksum are emitted for the CI gate.  This
+  section is the same size at every ``--scale`` so the committed
+  baseline stays comparable.
+* **throughput** — the scale-keyed scenario (``--scale full`` is the
+  acceptance run: 10^6 stationary keys, 10^5 mobile keys, 10^5 lookups
+  with churn) timed end to end: nodes/sec (population over wall time),
+  events/sec (publishes + expiries + withdrawals + lookups over wall
+  time) and the process peak RSS
+  (:func:`repro.experiments.manifest.peak_rss_kb`).
+
+Writes
+
+* ``benchmarks/results/BENCH_scale.json`` — machine-readable trajectory;
+  the bench-report gate checks every ``determinism.*`` leaf for exact
+  equality against the committed baseline (timings stay informational);
+* ``benchmarks/results/BENCH_scale.txt`` — the human summary.
+
+Run directly: ``PYTHONPATH=src python benchmarks/bench_scale.py
+[--scale quick|full] [--sanitize]``.  ``--sanitize`` turns on the
+runtime sanitizer (every columnar upsert/expiry re-checks the store's
+structural invariants); timings degrade but counts do not change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Dict, List, Optional
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro import sanitize  # noqa: E402
+from repro.experiments.manifest import peak_rss_kb  # noqa: E402
+from repro.sim.columnar import (  # noqa: E402
+    ScaleShardParams,
+    merge_shard_results,
+    run_scale_shard,
+)
+
+#: (num_stationary, num_mobile, lookups, rounds, shards) per scale.
+SCALES = {
+    "quick": (100_000, 20_000, 20_000, 8, 4),
+    "full": (1_000_000, 100_000, 100_000, 8, 8),
+}
+
+#: Fixed-size determinism scenario — identical at every --scale so the
+#: committed baseline gates the same numbers CI regenerates.
+DET_PARAMS = dict(num_stationary=2_500, num_mobile=1_200, lookups=1_500, rounds=6)
+DET_SEED = 53
+DET_SHARDS = 4
+
+
+def _run_scenario(
+    num_stationary: int,
+    num_mobile: int,
+    lookups: int,
+    rounds: int,
+    shards: int,
+    *,
+    seed: int,
+) -> tuple:
+    """Run every shard in-process; returns (stats, rows, checksum)."""
+    results = [
+        run_scale_shard(
+            ScaleShardParams(
+                num_stationary=num_stationary,
+                num_mobile=num_mobile,
+                lookups=lookups,
+                rounds=rounds,
+                shard=shard,
+                shards=shards,
+                seed=seed,
+            )
+        )
+        for shard in range(shards)
+    ]
+    return merge_shard_results(results)
+
+
+def bench_determinism() -> Dict[str, object]:
+    """Serial vs sharded run of the fixed scenario; gated section."""
+    s_stats, s_rows, s_sum = _run_scenario(shards=1, seed=DET_SEED, **DET_PARAMS)
+    m_stats, m_rows, m_sum = _run_scenario(
+        shards=DET_SHARDS, seed=DET_SEED, **DET_PARAMS
+    )
+    if (s_stats, s_rows, s_sum) != (m_stats, m_rows, m_sum):
+        raise AssertionError(
+            f"sharded run diverged from serial: {s_sum} != {m_sum}"
+        )
+    return {
+        "num_stationary": DET_PARAMS["num_stationary"],
+        "num_mobile": DET_PARAMS["num_mobile"],
+        "shards": DET_SHARDS,
+        "published": s_stats["published"],
+        "expired": s_stats["expired"],
+        "withdrawn": s_stats["withdrawn"],
+        "lookups": s_stats["lookups"],
+        "hits": s_stats["hits"],
+        "live_rows": len(s_rows),
+        "checksum12": int(s_sum[:12], 16),
+        "sharded_matches_serial": 1,
+    }
+
+
+def bench_throughput(scale: str) -> Dict[str, object]:
+    """Timed scale-keyed scenario; informational (never gated)."""
+    num_stationary, num_mobile, lookups, rounds, shards = SCALES[scale]
+    t0 = time.perf_counter()
+    stats, rows, checksum = _run_scenario(
+        num_stationary, num_mobile, lookups, rounds, shards, seed=DET_SEED
+    )
+    wall = time.perf_counter() - t0
+    nodes = num_stationary + num_mobile
+    events = (
+        stats["published"] + stats["expired"] + stats["withdrawn"] + stats["lookups"]
+    )
+    return {
+        "num_stationary": num_stationary,
+        "num_mobile": num_mobile,
+        "shards": shards,
+        "rounds": rounds,
+        "published": stats["published"],
+        "expired": stats["expired"],
+        "withdrawn": stats["withdrawn"],
+        "lookups": stats["lookups"],
+        "hits": stats["hits"],
+        "live_rows": len(rows),
+        "checksum12": int(checksum[:12], 16),
+        "wall_s": round(wall, 3),
+        "nodes_per_sec": round(nodes / wall, 1) if wall else None,
+        "events_per_sec": round(events / wall, 1) if wall else None,
+        "peak_rss_kb": peak_rss_kb(),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="full",
+        help="quick: 10^5-stationary smoke run; full: the million-node "
+        "acceptance run (10^6 stationary, 10^5 mobile, 10^5 lookups)",
+    )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="enable the runtime sanitizer (structural checks on every "
+        "columnar store mutation)",
+    )
+    args = parser.parse_args(argv)
+    if args.sanitize:
+        sanitize.set_enabled(True)
+
+    print("determinism: serial vs sharded fixed scenario ...", flush=True)
+    determinism = bench_determinism()
+    print(f"throughput: --scale {args.scale} scenario ...", flush=True)
+    throughput = bench_throughput(args.scale)
+
+    payload = {
+        "benchmark": "scale",
+        "scale": args.scale,
+        "sanitize": bool(args.sanitize),
+        "python": sys.version.split()[0],
+        "determinism": determinism,
+        "throughput": throughput,
+    }
+    if args.sanitize:
+        payload["sanitize_checks"] = sanitize.counts().get("columnar", 0)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    json_path = RESULTS_DIR / "BENCH_scale.json"
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    t = throughput
+    lines = [
+        f"Columnar scale benchmark — struct-of-arrays engine "
+        f"(scale={args.scale})",
+        "",
+        f"  determinism: {determinism['shards']}-shard run bit-identical to "
+        f"serial (checksum12 {determinism['checksum12']})",
+        "",
+        f"  {'stationary':>11} {'mobile':>8} {'shards':>7} {'events':>9} "
+        f"{'wall s':>8} {'nodes/s':>11} {'events/s':>10} {'peak RSS':>10}",
+        f"  {t['num_stationary']:>11} {t['num_mobile']:>8} {t['shards']:>7} "
+        f"{t['published'] + t['expired'] + t['withdrawn'] + t['lookups']:>9} "
+        f"{t['wall_s']:>8.2f} {t['nodes_per_sec']:>11.0f} "
+        f"{t['events_per_sec']:>10.0f} "
+        f"{str(t['peak_rss_kb']) + ' KiB' if t['peak_rss_kb'] is not None else 'n/a':>10}",
+    ]
+    if args.sanitize:
+        lines.append("")
+        lines.append(
+            f"  sanitizer: {payload['sanitize_checks']} columnar checks, "
+            "0 violations"
+        )
+    text = "\n".join(lines)
+    (RESULTS_DIR / "BENCH_scale.txt").write_text(text + "\n")
+    print("\n" + text)
+    print(f"\n[written to {json_path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

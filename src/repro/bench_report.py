@@ -63,8 +63,11 @@ class Gate:
 
 #: Gated metrics per benchmark family.  Only deterministic quantities:
 #: accuracy/structure of the quantile sketch and hotspot statistics
-#: (``obs``), message-count reductions (``batch``).  Timing families
-#: (``churn``, ``sweep``) stay informational.
+#: (``obs``), message-count reductions (``batch``), the columnar
+#: engine's fixed-size serial-vs-sharded scenario (``scale`` — exact
+#: event counts and the integer-folded snapshot checksum).  Timing
+#: families (``churn``, ``sweep``) and the ``scale`` throughput section
+#: stay informational.
 GATES: Dict[str, Tuple[Gate, ...]] = {
     "obs": (
         Gate("accuracy.*.rel_err_*", "lower", 0.10),
@@ -75,6 +78,9 @@ GATES: Dict[str, Tuple[Gate, ...]] = {
     "batch": (
         Gate("per_k.*.reduction", "higher", 0.25),
         Gate("per_k.*.batched_msgs", "lower", 0.25),
+    ),
+    "scale": (
+        Gate("determinism.*", "equal", 1e-9),
     ),
 }
 

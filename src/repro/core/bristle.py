@@ -41,7 +41,12 @@ from ..sim.rng import RngStreams
 from ..sim.telemetry import Telemetry, active_telemetry
 from .config import BristleConfig
 from .ldt import LDTMember, LDTree, build_ldt, merge_registry_members
-from .location import BatchPublishResult, LocationDirectory, RegistrationManager
+from .location import (
+    BatchPublishResult,
+    LocationDirectory,
+    RegistrationManager,
+    shared_multicast_hops,
+)
 from .naming import make_naming
 from .node import BristleNode
 
@@ -104,6 +109,11 @@ class BatchMoveReport:
     publish_hops:
         Overlay hops for the single batched publish into the stationary
         layer (the per-key baseline pays this once per key).
+    multicast_hops:
+        Overlay hops of the shared ring multicast that delivers the batch
+        to its distinct holders — one traversal into the layer plus
+        holder-to-holder legs (``shared_multicast_hops``), versus one full
+        traversal per distinct holder on the per-holder path.
     ldt_root:
         The representative key that ran the coalesced advertisement.
     ldt:
@@ -117,6 +127,7 @@ class BatchMoveReport:
     publish_hops: int
     ldt_root: Optional[int]
     ldt: Optional[LDTree]
+    multicast_hops: int = 0
 
     @property
     def batch_size(self) -> int:
@@ -282,12 +293,25 @@ class BristleNetwork:
         self._proximity = proximity
 
         # --- location management ---------------------------------------------
-        self.directory = LocationDirectory(
-            self.space,
-            self.stationary_layer,
-            replication=config.replication,
-            ledger=self.telemetry.nodeload,
-        )
+        # Either backend: the object directory is the default (and the
+        # parity oracle); ``config.columnar_directory`` swaps in the
+        # struct-of-arrays store with bit-identical state evolution.
+        if config.columnar_directory:
+            from ..sim.columnar import ColumnarDirectory
+
+            self.directory = ColumnarDirectory(
+                self.space,
+                self.stationary_layer,
+                replication=config.replication,
+                ledger=self.telemetry.nodeload,
+            )
+        else:
+            self.directory = LocationDirectory(
+                self.space,
+                self.stationary_layer,
+                replication=config.replication,
+                ledger=self.telemetry.nodeload,
+            )
         self.registrations = RegistrationManager(
             self.nodes, metrics=self.telemetry.metrics
         )
@@ -690,6 +714,7 @@ class BristleNetwork:
 
         result: Optional[BatchPublishResult] = None
         publish_hops = 0
+        multicast_hops = 0
         if publish:
             result = self.directory.publish_many(
                 new_addresses, now=self.now, ttl=self.config.state_ttl
@@ -697,6 +722,14 @@ class BristleNetwork:
             # One routed entry into the stationary layer carries the whole
             # batch; the per-holder fan-out is counted in publish_messages.
             publish_hops = 1
+            # Shared ring multicast: the batch enters the layer once (at
+            # the first key's owner) and travels holder-to-holder instead
+            # of one full traversal per distinct holder.
+            multicast_hops = shared_multicast_hops(
+                self.stationary_layer,
+                result.holder_batches,
+                entry=self.stationary_layer.owner_of(group[0]),
+            )
 
         ldt_root: Optional[int] = None
         ldt: Optional[LDTree] = None
@@ -709,11 +742,13 @@ class BristleNetwork:
             publish_hops=publish_hops,
             ldt_root=ldt_root,
             ldt=ldt,
+            multicast_hops=multicast_hops,
         )
         m = tel.metrics
         m.counter("op.update_many.count").inc()
         m.histogram("op.update_many.batch_size").observe(report.batch_size)
         m.counter("op.update_many.publish_messages").inc(report.publish_messages)
+        m.counter("op.update_many.multicast_hops").inc(report.multicast_hops)
         m.histogram("op.update_many.total_messages").observe(report.total_messages)
         if ldt is not None:
             m.histogram("op.update_many.ldt_messages").observe(report.ldt_messages)

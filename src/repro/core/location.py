@@ -23,6 +23,7 @@ import numpy as np
 from ..net.address import NetworkAddress
 from ..overlay.base import Overlay
 from ..overlay.keyspace import KeySpace
+from ..sim.columnar import ExpiryHeap
 from ..sim.metrics import MetricsRegistry
 from ..sim.nodestats import NodeLoadLedger
 from .node import BristleNode, RegistryEntry
@@ -32,7 +33,40 @@ __all__ = [
     "LocationDirectory",
     "RegistrationManager",
     "BatchPublishResult",
+    "shared_multicast_hops",
 ]
+
+
+def shared_multicast_hops(
+    overlay: Overlay, holders: Iterable[int], entry: Optional[int] = None
+) -> int:
+    """Overlay hops of one *shared* ring multicast visiting ``holders``.
+
+    The per-holder baseline routes one full overlay traversal per distinct
+    holder (O(holders · log N) hops).  The shared multicast enters the
+    stationary layer once and the batched update then travels
+    holder-to-holder around the ring: ``entry → first holder`` in ring
+    order, then one short leg between each pair of consecutive distinct
+    holders — holders cluster around record owners, so the legs are
+    near-neighbour routes and the whole batch costs roughly one traversal
+    plus O(holders) short legs.
+
+    ``Overlay.route`` is side-effect-free (no metrics, no state), so this
+    is pure message accounting; the directory contents are unaffected.
+    Returns the total overlay hop count.
+    """
+    hs = sorted({int(h) for h in holders})
+    if not hs:
+        return 0
+    start = int(entry) if entry is not None else hs[0]
+    pos = int(np.searchsorted(np.asarray(hs, dtype=np.uint64), start))
+    ordered = [hs[(pos + j) % len(hs)] for j in range(len(hs))]
+    hops = 0
+    if ordered[0] != start:
+        hops += overlay.route(start, ordered[0]).hop_count
+    for a, b in zip(ordered, ordered[1:]):
+        hops += overlay.route(a, b).hop_count
+    return hops
 
 
 @dataclasses.dataclass
@@ -120,6 +154,10 @@ class LocationDirectory:
         # name a *different* holder set once the stationary membership has
         # churned, so removal must consult where records really live.
         self._holders_by_key: Dict[int, Tuple[int, ...]] = {}
+        #: Min-expiry index (shared kernel with the columnar store): lease
+        #: expiry pops the overdue prefix in O(expired · log K) instead of
+        #: the O(total records) ``fresh(now)`` sweep it replaces.
+        self._expiry_heap = ExpiryHeap()
         self.publish_count = 0
         self.batch_publish_count = 0
         self.resolve_count = 0
@@ -201,6 +239,7 @@ class LocationDirectory:
         for h in holders:
             self._stores.setdefault(h, {})[key] = record
         self._holders_by_key[key] = tuple(holders)
+        self._expiry_heap.push(record.published_at + record.ttl, key)
         if self.ledger is not None:
             self.ledger.add_many("registrations", holders)
 
@@ -284,6 +323,34 @@ class LocationDirectory:
                 removed += 1
         return removed
 
+    def expire_leases(self, now: float) -> List[int]:
+        """Drop every record whose lease lapsed before ``now``.
+
+        Pops the overdue prefix of the min-expiry heap — O(expired · log K)
+        — and validates each entry against the live record table (lazy
+        deletion: a re-published or withdrawn key leaves a stale heap entry
+        behind, recognised by a missing record or a different expiry).
+        Returns the expired keys, ascending — bit-identical to the columnar
+        store's sorted-expiry prefix sweep.
+        """
+        expired: List[int] = []
+        for expiry, key in self._expiry_heap.pop_expired(now):
+            holders = self._holders_by_key.get(key)
+            if holders is None:
+                continue  # withdrawn since the entry was pushed
+            record = None
+            for h in holders:
+                record = self._stores.get(h, {}).get(key)
+                if record is not None:
+                    break
+            if record is None or record.published_at + record.ttl != expiry:
+                continue  # re-published since; a newer heap entry covers it
+            for h in holders:
+                self._stores.get(h, {}).pop(key, None)
+            self._holders_by_key.pop(key, None)
+            expired.append(key)
+        return sorted(expired)
+
     def records_at(self, holder: int) -> Dict[int, LocationRecord]:
         """All records a holder currently stores (the Figure-3 notion of
         per-node *responsibility*)."""
@@ -321,9 +388,33 @@ class LocationDirectory:
                     existing[k] = rec
         self._stores.clear()
         self._holders_by_key.clear()
+        # Every surviving record is re-placed below (re-pushing its expiry),
+        # so the heap can drop its accumulated stale entries wholesale.
+        self._expiry_heap.clear()
         holders_map = self.holders_for_many(sorted(existing))
         for k in sorted(existing):
             self._place(k, existing[k], holders_map[k])
+
+    def snapshot(self) -> Tuple[tuple, ...]:
+        """Canonical state: (key, holder, router, port, epoch, published,
+        ttl) rows sorted by (key, holder) — the parity contract shared with
+        ``ColumnarDirectory.snapshot``."""
+        rows = []
+        for holder, recs in self._stores.items():
+            for key, rec in recs.items():
+                rows.append(
+                    (
+                        int(key),
+                        int(holder),
+                        int(rec.addr.router),
+                        int(rec.addr.port),
+                        int(rec.addr.epoch),
+                        float(rec.published_at),
+                        float(rec.ttl),
+                    )
+                )
+        rows.sort()
+        return tuple(rows)
 
 
 class RegistrationManager:

@@ -85,6 +85,13 @@ class EarlyBinding(BindingPolicy):
     period instead of O(K · log N).  Ungrouped keys keep the per-key path,
     with the dissemination tree served from :meth:`BristleNetwork.ldt_for`
     so an unchanged registry costs no rebuild.
+
+    ``shared_multicast`` switches the *accounting* of each grouped refresh
+    from one message per distinct holder to the hops of one shared ring
+    multicast (:func:`repro.core.location.shared_multicast_hops`): the
+    batch enters the stationary layer once and travels holder-to-holder.
+    Directory state is identical either way — only the message model
+    changes.
     """
 
     def __init__(
@@ -93,8 +100,10 @@ class EarlyBinding(BindingPolicy):
         engine: Engine,
         *,
         host_groups: Optional[Sequence[Sequence[int]]] = None,
+        shared_multicast: bool = False,
     ) -> None:
         super().__init__(net, engine)
+        self.shared_multicast = bool(shared_multicast)
         self.host_groups: List[List[int]] = (
             [sorted({int(k) for k in g}) for g in host_groups]
             if host_groups is not None
@@ -167,8 +176,18 @@ class EarlyBinding(BindingPolicy):
             now=self.engine.now,
             ttl=net.config.state_ttl,
         )
-        # Batched publish: one message per distinct stationary holder.
-        self.stats.publishes += result.message_count
+        if self.shared_multicast:
+            # One shared ring multicast: entry traversal + holder legs.
+            from .location import shared_multicast_hops
+
+            self.stats.publishes += shared_multicast_hops(
+                net.stationary_layer,
+                result.holder_batches,
+                entry=net.stationary_layer.owner_of(live[0]),
+            )
+        else:
+            # Batched publish: one message per distinct stationary holder.
+            self.stats.publishes += result.message_count
         with_registry = [k for k in live if net.nodes[k].registry]
         if not with_registry:
             return

@@ -24,11 +24,17 @@ from ..core.mobility import shuffle_all_mobile
 from ..core.routing import route_with_resolution
 from ..net.underlay import build_underlay, shared_underlay_cache
 from ..sim.rng import derive_seed
+from ..sim.columnar import ScaleShardParams, ScaleShardResult, merge_shard_results, run_scale_shard
 from ..workloads.routes import sample_stationary_pairs
 from .common import ResultTable
 from .parallel import active_sweep, derive_point_seeds, sweep_map
 
-__all__ = ["ScalingParams", "run_scaling"]
+__all__ = [
+    "ColumnarScaleParams",
+    "ScalingParams",
+    "run_columnar_scale",
+    "run_scaling",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -127,4 +133,102 @@ def run_scaling(params: Optional[ScalingParams] = None) -> ResultTable:
                 "clustered / log2 N": clu / log_n,
             }
         )
+    return table
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnarScaleParams:
+    """Population and sharding for the columnar scale scenario.
+
+    The scenario itself (per-round expiry sweep, hashed movement /
+    departure schedules, the shared lookup stream) lives in
+    :func:`repro.sim.columnar.run_scale_shard`; this wrapper only decides
+    how big it is and into how many keyspace shards it fans out.
+    """
+
+    num_stationary: int = 20_000
+    num_mobile: int = 8_000
+    lookups: int = 10_000
+    rounds: int = 8
+    shards: int = 4
+    seed: int = 53
+    key_bits: int = 32
+    replication: int = 3
+
+    @classmethod
+    def quick_scale(cls) -> "ColumnarScaleParams":
+        """CI-sized population: a few thousand keys, still 4 shards."""
+        return cls(num_stationary=2_500, num_mobile=1_200, lookups=1_500, rounds=6)
+
+
+def _columnar_shard(pt: ScaleShardParams) -> ScaleShardResult:
+    """Module-level (picklable) per-shard worker for :func:`sweep_map`."""
+    return run_scale_shard(pt)
+
+
+def run_columnar_scale(params: Optional[ColumnarScaleParams] = None) -> ResultTable:
+    """Churn + lookup scenario on the columnar engine, keyspace-sharded.
+
+    One :class:`~repro.sim.columnar.ScaleShardParams` per shard fans out
+    through :func:`sweep_map`; each worker keeps only the mobile keys
+    whose ring position falls in its shard, so the merged outcome is
+    bit-identical to a serial run whatever the shard count or job count.
+    Every reported value is deterministic (the snapshot checksum is
+    folded to an integer so downstream numeric tooling can gate on it);
+    wall-clock throughput lives in ``benchmarks/bench_scale.py``, not
+    here.
+    """
+    p = params if params is not None else ColumnarScaleParams()
+    if p.shards < 1:
+        raise ValueError("shards must be >= 1")
+    points = [
+        ScaleShardParams(
+            num_stationary=p.num_stationary,
+            num_mobile=p.num_mobile,
+            lookups=p.lookups,
+            rounds=p.rounds,
+            shard=shard,
+            shards=p.shards,
+            seed=p.seed,
+            key_bits=p.key_bits,
+            replication=p.replication,
+        )
+        for shard in range(p.shards)
+    ]
+    results = sweep_map(_columnar_shard, points)
+    stats, rows, checksum = merge_shard_results(results)
+    table = ResultTable(
+        title="Extension — columnar engine scale scenario (keyspace-sharded)",
+        columns=[
+            "stationary",
+            "mobile",
+            "shards",
+            "published",
+            "expired",
+            "withdrawn",
+            "lookups",
+            "hits",
+            "live rows",
+            "checksum12",
+        ],
+        notes=[
+            f"{p.rounds} rounds, replication {p.replication}, seed {p.seed}; "
+            "checksum12 = first 12 hex digits of the merged snapshot "
+            "checksum (shard- and jobs-invariant)",
+        ],
+    )
+    table.add_row(
+        **{
+            "stationary": p.num_stationary,
+            "mobile": p.num_mobile,
+            "shards": p.shards,
+            "published": stats["published"],
+            "expired": stats["expired"],
+            "withdrawn": stats["withdrawn"],
+            "lookups": stats["lookups"],
+            "hits": stats["hits"],
+            "live rows": len(rows),
+            "checksum12": int(checksum[:12], 16),
+        }
+    )
     return table

@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 import platform
 import subprocess
+import sys
 from datetime import datetime, timezone
 from typing import Any, Dict, Iterable, Mapping, Optional, Sequence
 
@@ -30,6 +31,7 @@ __all__ = [
     "build_manifest",
     "validate_manifest",
     "git_revision",
+    "peak_rss_kb",
 ]
 
 #: Discriminator so tooling can reject unrelated JSON files early.
@@ -40,7 +42,9 @@ MANIFEST_KIND = "repro-run-manifest"
 #: v3 added the per-node ``node_load`` section (imbalance stats + top-k
 #: hotspots per load kind) and ``tail_latency`` (per-histogram
 #: p50/p95/p99/p999 sketch estimates).
-MANIFEST_SCHEMA_VERSION = 3
+#: v4 added ``peak_rss_kb`` — the process's peak resident set in KiB — so
+#: memory regressions surface in the same pipeline as timing.
+MANIFEST_SCHEMA_VERSION = 4
 
 
 class ManifestError(ValueError):
@@ -67,6 +71,23 @@ def _finite(value: float) -> Optional[float]:
     """NaN/inf → ``None`` so the manifest stays strict JSON."""
     v = float(value)
     return v if math.isfinite(v) else None
+
+
+def peak_rss_kb() -> Optional[int]:
+    """Peak resident-set size of this process in KiB, or ``None``.
+
+    ``getrusage(RUSAGE_SELF).ru_maxrss`` is kibibytes on Linux but *bytes*
+    on macOS; normalised here so manifests compare across platforms.
+    Returns ``None`` on platforms without :mod:`resource` (Windows).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None
+    peak = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    if sys.platform == "darwin":  # pragma: no cover - macOS units
+        peak //= 1024
+    return peak
 
 
 def build_manifest(
@@ -115,6 +136,9 @@ def build_manifest(
         "trace_file": trace_file,
         "jobs": int(jobs),
         "underlay_reuse": bool(underlay_reuse),
+        # Peak resident set of the parent process (fork workers' arenas are
+        # their own; the parent's peak is what a box must provision for).
+        "peak_rss_kb": peak_rss_kb(),
         "phase_wall_times": {
             k: round(v, 6) for k, v in telemetry.profiler.wall_times().items()
         },
@@ -191,6 +215,14 @@ def validate_manifest(payload: Any) -> Dict[str, Any]:
     if isinstance(version, int) and version >= 3:
         problems.extend(_check_node_load(payload.get("node_load")))
         problems.extend(_check_tail_latency(payload.get("tail_latency")))
+    if isinstance(version, int) and version >= 4:
+        rss = payload.get("peak_rss_kb")
+        if rss is not None and (
+            not isinstance(rss, int) or isinstance(rss, bool) or rss < 0
+        ):
+            problems.append(
+                f"peak_rss_kb must be a non-negative int or null, got {rss!r}"
+            )
     if "created_utc" in payload and not isinstance(payload["created_utc"], str):
         problems.append("created_utc must be an ISO-8601 string")
     if problems:

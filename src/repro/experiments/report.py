@@ -22,7 +22,7 @@ from .ext_hotspot import HotspotParams, run_hotspot_load
 from .ext_naming import run_band_placement
 from .ext_overlay_choice import run_ipv6_route_optimisation, run_overlay_choice
 from .ext_proximity import run_proximity_routing
-from .ext_scaling import run_scaling
+from .ext_scaling import ColumnarScaleParams, run_columnar_scale, run_scaling
 from .ext_reliability import run_adaptive_routing_reliability, run_replication_reliability
 from .fig3_responsibility import run_fig3, run_fig3_empirical, run_fig3_tree_sizes
 from .fig7_naming import Fig7Params, run_fig7
@@ -112,6 +112,18 @@ def _fig3_trees(scale: str) -> ResultTable:
     return run_fig3_tree_sizes(num_stationary=120 if scale == "quick" else 300)
 
 
+def _ext_scale_columnar(scale: str) -> ResultTable:
+    if scale == "paper":
+        return run_columnar_scale(
+            ColumnarScaleParams(
+                num_stationary=100_000, num_mobile=40_000, lookups=50_000, shards=8
+            )
+        )
+    if scale == "quick":
+        return run_columnar_scale(ColumnarScaleParams.quick_scale())
+    return run_columnar_scale()
+
+
 def _ext_hotspot(scale: str) -> ResultTable:
     if scale == "paper":
         return run_hotspot_load(
@@ -199,6 +211,10 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[str], ResultTable]]] = {
     "ext-hotspot": (
         "Extension — hotspot load under Zipf-skewed discovery",
         _ext_hotspot,
+    ),
+    "ext-scale-columnar": (
+        "Extension — columnar engine scale scenario, keyspace-sharded",
+        _ext_scale_columnar,
     ),
 }
 

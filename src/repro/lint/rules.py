@@ -1,4 +1,4 @@
-"""The rule catalogue: six repo-specific determinism/invariant checks.
+"""The rule catalogue: nine repo-specific determinism/invariant checks.
 
 Each rule is a small :class:`ast`-walking check with a stable ``BRS``
 code.  The catalogue (with the paper-level rationale for every rule)
@@ -17,6 +17,11 @@ BRS005    RNG populations must be order-stable (no sets / raw dict
           views fed to draw helpers)
 BRS006    seed discipline: derive child seeds via
           ``derive_seed``/``derive_point_seed``, never arithmetic
+BRS007    incremental repair hooks must not hide a full rebuild
+          (no ``_reset_state()`` in ``_on_add``/``_on_remove``)
+BRS008    no unbounded per-sample lists in metric recording methods
+BRS009    columnar kernel modules stay vectorised: no per-row Python
+          ``for`` loops over membership arrays
 ========  ==========================================================
 """
 
@@ -755,6 +760,90 @@ class UnboundedSampleList(Rule):
                         )
 
 
+# ----------------------------------------------------------------------
+# BRS009 — per-row Python loops inside columnar kernel modules
+# ----------------------------------------------------------------------
+#: Modules that hold the struct-of-arrays kernels; per-row loops there
+#: defeat the engine's whole point.
+_COLUMNAR_KERNEL_MODULES = (("repro", "sim", "columnar"),)
+
+#: Iterable-name fragments that mean "one element per member": looping
+#: such an array in Python scales the interpreter cost with N.
+_MEMBERSHIP_NAME_TOKENS = ("keys", "holders", "members")
+
+
+def _per_row_iter_reason(it: ast.AST) -> Optional[str]:
+    """Why iterating ``it`` is a per-row walk, or ``None`` when it isn't.
+
+    Flags ``range(len(...))`` index walks, ``.tolist()``
+    materialisations, and direct iteration over membership-named
+    arrays (``keys``, ``holders``, ``members``).
+    """
+    if (
+        isinstance(it, ast.Call)
+        and isinstance(it.func, ast.Name)
+        and it.func.id == "range"
+        and any(
+            isinstance(a, ast.Call)
+            and isinstance(a.func, ast.Name)
+            and a.func.id == "len"
+            for a in it.args
+        )
+    ):
+        return "a range(len(...)) index walk"
+    if (
+        isinstance(it, ast.Call)
+        and isinstance(it.func, ast.Attribute)
+        and it.func.attr == "tolist"
+    ):
+        return "a .tolist() materialisation"
+    name = None
+    if isinstance(it, ast.Name):
+        name = it.id
+    elif isinstance(it, ast.Attribute):
+        name = it.attr
+    if name is not None and any(
+        tok in name.lower() for tok in _MEMBERSHIP_NAME_TOKENS
+    ):
+        return f"iteration over membership array {name!r}"
+    return None
+
+
+class PerRowColumnarLoop(Rule):
+    """BRS009: columnar kernel modules must stay vectorised.  A Python
+    ``for`` statement walking a membership-scale array — a
+    ``range(len(...))`` index walk, a ``.tolist()`` materialisation, or
+    direct iteration over a ``*keys``/``*holders``/``*members`` iterable
+    — reintroduces the O(N)-interpreter-ops-per-event cost the
+    struct-of-arrays engine exists to remove.  Canonical row exports
+    (object-model parity bridges) carry explicit suppressions."""
+
+    code = "BRS009"
+    name = "per-row-columnar-loop"
+    summary = (
+        "per-row Python for-loop over a membership array inside a "
+        "columnar kernel module: express it as a numpy kernel "
+        "(searchsorted / boolean masks / reductions) instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Flag per-row ``for`` statements in columnar kernel modules."""
+        if not any(ctx.is_module(*m) for m in _COLUMNAR_KERNEL_MODULES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            reason = _per_row_iter_reason(node.iter)
+            if reason is not None:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{reason} in a columnar kernel module runs O(N) "
+                    "interpreter ops per event: vectorise it "
+                    "(searchsorted / boolean masks / reductions)",
+                )
+
+
 #: Registry: code → rule instance, in code order.
 RULES: Dict[str, Rule] = {
     rule.code: rule
@@ -767,5 +856,6 @@ RULES: Dict[str, Rule] = {
         SeedArithmetic(),
         RebuildInRepairHook(),
         UnboundedSampleList(),
+        PerRowColumnarLoop(),
     )
 }

@@ -13,7 +13,11 @@ invariants the paper's results rest on, right where they can break:
 * **TTL-lease monotonicity** on every state-pair refresh
   (:func:`check_lease_refresh` — leases never refresh into the past);
 * **manifest round-trips** before a run manifest is written
-  (:func:`check_manifest_roundtrip` — strict-JSON stability).
+  (:func:`check_manifest_roundtrip` — strict-JSON stability);
+* **columnar-store column coherence** after every batch mutation
+  (:func:`check_columnar_store` — strictly sorted keys, ``expiry ==
+  published + ttl``, holder counts within the replica width and a
+  correctly sorted expiry ordering).
 
 Checks are read-only — they never draw from an RNG stream or mutate
 protocol state — so a sanitized run is bit-identical to an unsanitized
@@ -48,6 +52,7 @@ __all__ = [
     "check_ldt",
     "check_lease_refresh",
     "check_manifest_roundtrip",
+    "check_columnar_store",
 ]
 
 
@@ -258,6 +263,53 @@ def check_manifest_roundtrip(payload: Mapping[str, Any]) -> None:
         raise _violation(
             f"manifest fails schema validation after round-trip: {exc}"
         ) from None
+
+
+# ----------------------------------------------------------------------
+# Columnar-store column coherence (after batch mutations)
+# ----------------------------------------------------------------------
+def check_columnar_store(store: Any) -> None:
+    """Cross-column invariants of a ``repro.sim.columnar.ColumnarStore``.
+
+    Runs after every batch rebuild (``_set``): the key column must be
+    strictly sorted and unique, every row's ``expiry`` must equal
+    ``published + ttl``, holder counts must fit the replica width, and the
+    precomputed expiry ordering must actually sort the expiry column —
+    the invariant the one-pass TTL sweep's prefix slice rests on.
+    """
+    _record("columnar")
+    import numpy as np
+
+    keys = store.keys
+    n = int(keys.size)
+    for name in ("router", "port", "epoch", "published", "ttl", "expiry",
+                 "holder_count"):
+        col = getattr(store, name)
+        if int(col.shape[0]) != n:
+            raise _violation(
+                f"columnar column {name!r} has {int(col.shape[0])} rows, "
+                f"key column has {n}"
+            )
+    if store.holders.shape != (n, store.replication):
+        raise _violation(
+            f"columnar holder matrix shape {store.holders.shape} != "
+            f"({n}, {store.replication})"
+        )
+    if n == 0:
+        return
+    if n > 1 and not bool((keys[1:] > keys[:-1]).all()):
+        raise _violation("columnar key column is not strictly sorted/unique")
+    if not bool(np.all(store.expiry == store.published + store.ttl)):
+        raise _violation("columnar expiry column diverged from published + ttl")
+    if not bool(
+        np.all((store.holder_count >= 1) & (store.holder_count <= store.replication))
+    ):
+        raise _violation(
+            f"columnar holder counts outside [1, {store.replication}]"
+        )
+    ordered = store.expiry[store._exp_order]
+    if n > 1 and not bool((ordered[1:] >= ordered[:-1]).all()):
+        raise _violation("columnar expiry ordering does not sort the expiry column")
 
 
 def _jsonify(value: Any) -> Any:

@@ -1,0 +1,960 @@
+"""Columnar (struct-of-arrays) state engine for million-node simulation.
+
+The object model tops out around N = 4096: every node is a Python object
+and every event touches one lease at a time.  This module keeps the hot
+per-node state in parallel NumPy columns instead and processes whole
+event batches with vectorised kernels:
+
+* :class:`ColumnarStore` — the location-record table as sorted parallel
+  columns (key, address triple, lease times, replica holders) with a
+  precomputed expiry ordering, so a TTL sweep slices off the expired
+  prefix instead of checking every lease;
+* :class:`ColumnarDirectory` — a drop-in
+  :class:`repro.core.location.LocationDirectory` backend over that store.
+  The object directory stays on as the **parity oracle**: on any seeded
+  scenario both must produce bit-identical :meth:`snapshot` tuples (the
+  oracle-vs-bulk pattern the batched-update and churn-repair PRs
+  established);
+* placement kernels — :func:`ring_nearest` (vectorised
+  ``KeySpace.nearest_key``) and :func:`expand_holders` (vectorised
+  replica placement, exact replica order of
+  ``LocationDirectory._holders_near``);
+* :func:`ldt_fanout` — closed-form batched Fig-4 dissemination fanout
+  (message count and tree depth for many LDTs at once, validated against
+  ``build_ldt`` on uniform-capacity registries);
+* :class:`StatePairColumns` — registration/state-pair tables as columns
+  (registrant, key, address, lease), bridged to/from the per-node
+  :class:`repro.overlay.state.StateTable` object model;
+* :func:`run_scale_shard` — one keyspace shard of the million-node
+  churn+traffic scenario.  Every per-key event stream is derived by
+  hashing the key itself (:func:`mix64`), so any shard partition of the
+  key population replays bit-identically to the serial run; the driver
+  (``repro.experiments.ext_scaling``) fans shards out through
+  ``sweep_map`` and merges snapshots by concatenation.
+
+Kernels operate on whole columns; per-node Python loops over full
+membership arrays are banned here by lint rule BRS009.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import sanitize as _sanitize
+from .rng import derive_seed
+
+__all__ = [
+    "mix64",
+    "ring_nearest",
+    "replica_offsets",
+    "expand_holders",
+    "ldt_fanout",
+    "ExpiryHeap",
+    "ColumnarStore",
+    "ColumnarDirectory",
+    "StatePairColumns",
+    "ScaleShardParams",
+    "ScaleShardResult",
+    "run_scale_shard",
+    "merge_shard_results",
+    "snapshot_checksum",
+]
+
+#: Columnar kernels pack keys into uint64 columns; identifier rings wider
+#: than 63 bits would overflow the ring-distance arithmetic.
+MAX_COLUMNAR_BITS = 63
+
+_U64 = np.uint64
+_I64 = np.int64
+_F64 = np.float64
+
+# splitmix64 finalizer constants (same mixing as repro.sim.rng.derive_seed).
+_MIX_MUL1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_MUL2 = np.uint64(0x94D049BB133111EB)
+_MIX_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+
+
+def mix64(values: np.ndarray, salt: int = 0) -> np.ndarray:
+    """Vectorised splitmix64 finalizer over a uint64 column.
+
+    Per-key randomness for the scale engine comes from hashing the key
+    itself (plus a salt derived from the master seed), never from a
+    sequential stream — that is what makes event streams independent of
+    how the key population is sharded.
+    """
+    with np.errstate(over="ignore"):
+        z = values.astype(_U64, copy=True)
+        z += _U64(salt & 0xFFFFFFFFFFFFFFFF) + _MIX_GOLDEN
+        z = (z ^ (z >> _U64(30))) * _MIX_MUL1
+        z = (z ^ (z >> _U64(27))) * _MIX_MUL2
+        return z ^ (z >> _U64(31))
+
+
+def ring_nearest(
+    sorted_keys: np.ndarray, targets: np.ndarray, bits: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised ``KeySpace.nearest_key`` over a whole target column.
+
+    Returns ``(owner_idx, owner_key)`` — for each target, the index and
+    value of the member key with minimal ring distance (ties to the
+    numerically smaller key, bit-identical to the scalar oracle).
+    """
+    if sorted_keys.size == 0:
+        raise ValueError("empty key array")
+    if bits > MAX_COLUMNAR_BITS:
+        raise ValueError(f"columnar kernels support bits <= {MAX_COLUMNAR_BITS}")
+    keys = sorted_keys.astype(_U64, copy=False)
+    tgt = targets.astype(_U64, copy=False)
+    n = keys.size
+    size = _U64(1 << bits)
+    idx = np.searchsorted(keys, tgt)
+    ia = idx % n  # successor (wraps to 0 past the end)
+    ib = (idx - 1) % n  # predecessor
+    ka, kb = keys[ia], keys[ib]
+    with np.errstate(over="ignore"):
+        mask = size - _U64(1)
+        da_fwd = (ka - tgt) & mask
+        db_fwd = (kb - tgt) & mask
+    da = np.minimum(da_fwd, size - da_fwd)
+    db = np.minimum(db_fwd, size - db_fwd)
+    take_b = (db < da) | ((db == da) & (kb < ka))
+    owner_idx = np.where(take_b, ib, ia)
+    return owner_idx.astype(_I64), keys[owner_idx]
+
+
+def replica_offsets(count: int) -> np.ndarray:
+    """The replica placement order around an owner: 0, +1, −1, +2, −2, …
+
+    Matches the alternate right/left walk of
+    ``LocationDirectory._holders_near``; the first ``count`` offsets are
+    always distinct modulo any membership size ``n >= count`` (their span
+    is ``count − 1``), so no per-holder dedup is ever needed.
+    """
+    steps = np.arange(1, count, dtype=_I64)
+    signed = np.where(steps % 2 == 1, (steps + 1) // 2, -(steps // 2))
+    return np.concatenate([np.zeros(1, dtype=_I64), signed])
+
+
+def expand_holders(
+    sorted_keys: np.ndarray, owner_idx: np.ndarray, replication: int
+) -> np.ndarray:
+    """Vectorised replica expansion: holder matrix of shape ``(Q, count)``.
+
+    Row ``q`` lists the holders for a record owned by the member at sorted
+    index ``owner_idx[q]`` — the owner plus its ring neighbours in the
+    alternate right/left order, ``min(replication, n)`` holders total,
+    byte-identical (values and order) to the scalar oracle's walk.
+    """
+    keys = sorted_keys.astype(_U64, copy=False)
+    n = keys.size
+    count = min(replication, int(n))
+    offs = replica_offsets(count)
+    idx = (owner_idx.astype(_I64).reshape(-1, 1) + offs.reshape(1, -1)) % n
+    return keys[idx]
+
+
+def ldt_fanout(
+    registry_sizes: np.ndarray,
+    root_k: np.ndarray,
+    member_k: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched Fig-4 dissemination cost for many LDTs at once.
+
+    For uniform-capacity registries the Fig-4 recursion is closed-form:
+    a root with capacity for ``k`` partitions splits its ``R`` members
+    round-robin, each partition head (capacity ``member_k``) recurses on
+    its partition minus itself.  Messages are always ``R`` (every member
+    receives the advertisement exactly once); depth follows the shrinking
+    recursion ``R → ceil(R / k) − 1``.
+
+    Parameters are per-tree columns: registry size, the root's partition
+    count ``max(1, floor(Avail_root / v))`` and the members' shared
+    partition count.  Returns ``(messages, depth)`` columns, validated
+    against ``repro.core.ldt.build_ldt`` in the parity tests.
+    """
+    sizes = registry_sizes.astype(_I64, copy=True)
+    rk = np.maximum(root_k.astype(_I64, copy=False), 1)
+    mk = np.maximum(member_k.astype(_I64, copy=False), 1)
+    messages = sizes.copy()
+    depth = np.zeros_like(sizes)
+    remaining = sizes.copy()
+    k = rk.copy()
+    active = remaining > 0
+    while np.any(active):
+        depth[active] += 1
+        rem = remaining[active]
+        kk = k[active]
+        remaining[active] = -(-rem // kk) - 1  # ceil(rem / k) − 1
+        k[active] = mk[active]
+        active = remaining > 0
+    return messages, depth
+
+
+def snapshot_checksum(rows: Sequence[tuple]) -> str:
+    """SHA-256 over a canonical snapshot (the cross-run identity)."""
+    h = hashlib.sha256()
+    for row in rows:
+        h.update(repr(row).encode())
+    return h.hexdigest()
+
+
+class ExpiryHeap:
+    """Min-expiry index shared by both directory backends (lazy deletion).
+
+    ``push`` records ``(expires_at, key)``; ``pop_expired`` pops every
+    entry strictly below ``now`` and hands each to a validity callback
+    (re-published or withdrawn keys leave stale entries behind, which the
+    callback rejects).  Expiry cost is O(expired · log K) instead of the
+    O(total records) full scan it replaces.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, expires_at: float, key: int) -> None:
+        """Record that ``key``'s current lease lapses at ``expires_at``."""
+        heapq.heappush(self._heap, (float(expires_at), int(key)))
+
+    def clear(self) -> None:
+        """Drop every entry (callers re-push on a full re-placement)."""
+        self._heap.clear()
+
+    def pop_expired(self, now: float) -> List[Tuple[float, int]]:
+        """Pop every entry with ``expires_at < now`` (stale ones included;
+        the caller validates against its own record table)."""
+        out: List[Tuple[float, int]] = []
+        heap = self._heap
+        while heap and heap[0][0] < now:
+            out.append(heapq.heappop(heap))
+        return out
+
+
+class ColumnarStore:
+    """The location-record table as sorted parallel columns.
+
+    One row per *key* (all replicas of a record share its lease and
+    address, so the replica dimension folds into a fixed-width holder
+    matrix).  Rows stay sorted by key; every mutation is a batch rebuild
+    (O(K + B log B) for a B-row batch), and a stable expiry ordering is
+    recomputed alongside so :meth:`expire` is a prefix slice.
+    """
+
+    def __init__(self, replication: int) -> None:
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        self.replication = replication
+        self.keys = np.empty(0, dtype=_U64)
+        self.router = np.empty(0, dtype=_I64)
+        self.port = np.empty(0, dtype=_I64)
+        self.epoch = np.empty(0, dtype=_I64)
+        self.published = np.empty(0, dtype=_F64)
+        self.ttl = np.empty(0, dtype=_F64)
+        self.expiry = np.empty(0, dtype=_F64)
+        self.holders = np.empty((0, replication), dtype=_U64)
+        self.holder_count = np.empty(0, dtype=_I64)
+        #: Stable argsort of ``expiry`` (ties resolve in key order), the
+        #: sorted expiry column behind the one-pass TTL sweep.
+        self._exp_order = np.empty(0, dtype=_I64)
+
+    def __len__(self) -> int:
+        return int(self.keys.size)
+
+    # ------------------------------------------------------------------
+    # Mutation (batch-first)
+    # ------------------------------------------------------------------
+    def _set(self, **cols: np.ndarray) -> None:
+        for name, arr in cols.items():
+            setattr(self, name, arr)
+        self._exp_order = np.argsort(self.expiry, kind="stable").astype(_I64)
+        if _sanitize.ACTIVE:
+            _sanitize.check_columnar_store(self)
+
+    def _select(self, mask: np.ndarray) -> Dict[str, np.ndarray]:
+        return {
+            "keys": self.keys[mask],
+            "router": self.router[mask],
+            "port": self.port[mask],
+            "epoch": self.epoch[mask],
+            "published": self.published[mask],
+            "ttl": self.ttl[mask],
+            "expiry": self.expiry[mask],
+            "holders": self.holders[mask],
+            "holder_count": self.holder_count[mask],
+        }
+
+    def upsert(
+        self,
+        keys: np.ndarray,
+        router: np.ndarray,
+        port: np.ndarray,
+        epoch: np.ndarray,
+        published: np.ndarray,
+        ttl: np.ndarray,
+        holders: np.ndarray,
+        holder_count: np.ndarray,
+    ) -> None:
+        """Insert-or-replace a batch of rows (batch keys must be unique)."""
+        keys = keys.astype(_U64, copy=False)
+        if keys.size == 0:
+            return
+        if self.keys.size:
+            keep = ~np.isin(self.keys, keys)
+            base = self._select(keep)
+        else:
+            base = self._select(np.zeros(0, dtype=bool))
+        new_expiry = published + ttl
+        pad = self.replication - holders.shape[1]
+        if pad > 0:
+            holders = np.concatenate(
+                [holders, np.zeros((holders.shape[0], pad), dtype=_U64)], axis=1
+            )
+        merged_keys = np.concatenate([base["keys"], keys])
+        order = np.argsort(merged_keys, kind="stable")
+        self._set(
+            keys=merged_keys[order],
+            router=np.concatenate([base["router"], router.astype(_I64)])[order],
+            port=np.concatenate([base["port"], port.astype(_I64)])[order],
+            epoch=np.concatenate([base["epoch"], epoch.astype(_I64)])[order],
+            published=np.concatenate([base["published"], published.astype(_F64)])[order],
+            ttl=np.concatenate([base["ttl"], ttl.astype(_F64)])[order],
+            expiry=np.concatenate([base["expiry"], new_expiry.astype(_F64)])[order],
+            holders=np.concatenate([base["holders"], holders.astype(_U64)])[order],
+            holder_count=np.concatenate(
+                [base["holder_count"], holder_count.astype(_I64)]
+            )[order],
+        )
+
+    def remove(self, keys: np.ndarray) -> np.ndarray:
+        """Drop rows for ``keys``; returns the removed keys' holder counts
+        (zero-length when nothing matched)."""
+        keys = keys.astype(_U64, copy=False)
+        if not self.keys.size or not keys.size:
+            return np.empty(0, dtype=_I64)
+        hit = np.isin(self.keys, keys)
+        counts = self.holder_count[hit]
+        self._set(**self._select(~hit))
+        return counts
+
+    def expire(self, now: float) -> np.ndarray:
+        """One-pass TTL sweep: remove every row with ``expiry < now``.
+
+        The expired rows form a prefix of the precomputed expiry ordering,
+        so the sweep costs O(expired) plus one ``searchsorted`` — never a
+        scan of the live rows.  Returns the expired keys, ascending.
+        """
+        if not self.keys.size:
+            return np.empty(0, dtype=_U64)
+        order = self._exp_order
+        cut = int(np.searchsorted(self.expiry[order], now, side="left"))
+        if cut == 0:
+            return np.empty(0, dtype=_U64)
+        dead_rows = order[:cut]
+        dead_keys = np.sort(self.keys[dead_rows])
+        keep = np.ones(self.keys.size, dtype=bool)
+        keep[dead_rows] = False
+        self._set(**self._select(keep))
+        return dead_keys
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def find(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Row indices for ``keys``: ``(rows, found_mask)`` via one
+        ``searchsorted`` over the full key column."""
+        q = keys.astype(_U64, copy=False)
+        if not self.keys.size:
+            return np.zeros(q.size, dtype=_I64), np.zeros(q.size, dtype=bool)
+        idx = np.searchsorted(self.keys, q)
+        idx_c = np.minimum(idx, self.keys.size - 1)
+        found = self.keys[idx_c] == q
+        return idx_c.astype(_I64), found
+
+    def resolve_many(
+        self, keys: np.ndarray, now: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Bulk lookup: ``(rows, hit_mask)`` where a hit is a stored row
+        whose lease is still fresh at ``now``."""
+        rows, found = self.find(keys)
+        fresh = np.zeros(found.shape, dtype=bool)
+        fresh[found] = self.expiry[rows[found]] >= now
+        return rows, found & fresh
+
+    def snapshot_rows(self) -> List[tuple]:
+        """Canonical per-replica rows, sorted by (key, holder) — the
+        parity contract shared with ``LocationDirectory.snapshot``."""
+        out: List[tuple] = []
+        for i in range(len(self)):  # repro-lint: disable=BRS009 canonical export walks rows by design
+            base = (
+                int(self.router[i]),
+                int(self.port[i]),
+                int(self.epoch[i]),
+                float(self.published[i]),
+                float(self.ttl[i]),
+            )
+            key = int(self.keys[i])
+            for h in sorted(
+                int(h) for h in self.holders[i, : int(self.holder_count[i])]
+            ):
+                out.append((key, h) + base)
+        return out
+
+
+class ColumnarDirectory:
+    """Struct-of-arrays drop-in for ``LocationDirectory``.
+
+    Same public surface and bit-identical state evolution (the object
+    directory is the parity oracle); storage and bulk paths run on
+    :class:`ColumnarStore` columns.  Owner resolution has two modes:
+
+    * **overlay mode** (``stationary_overlay=``) delegates to the
+      overlay's own ``owner_of`` — exact for all five substrate
+      geometries (ring-nearest, Chord successor, Tapestry surrogate,
+      CAN zones), which is what the cross-overlay parity tests need;
+    * **array mode** (``stationary_keys=``) uses the vectorised
+      :func:`ring_nearest` kernel over a static membership column — the
+      million-node scale engine path, no overlay objects at all.
+    """
+
+    def __init__(
+        self,
+        space,
+        stationary_overlay=None,
+        replication: int = 3,
+        ledger=None,
+        *,
+        stationary_keys: Optional[np.ndarray] = None,
+    ) -> None:
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        if (stationary_overlay is None) == (stationary_keys is None):
+            raise ValueError(
+                "pass exactly one of stationary_overlay= or stationary_keys="
+            )
+        if space.bits > MAX_COLUMNAR_BITS:
+            raise ValueError(
+                f"ColumnarDirectory supports key_bits <= {MAX_COLUMNAR_BITS}"
+            )
+        self.space = space
+        self.overlay = stationary_overlay
+        self._static_keys = (
+            None
+            if stationary_keys is None
+            else np.sort(stationary_keys.astype(_U64, copy=False))
+        )
+        self.replication = replication
+        self.ledger = ledger
+        self.store = ColumnarStore(replication)
+        self.publish_count = 0
+        self.batch_publish_count = 0
+        self.resolve_count = 0
+
+    # ------------------------------------------------------------------
+    # Holder selection
+    # ------------------------------------------------------------------
+    @property
+    def _member_keys(self) -> np.ndarray:
+        if self._static_keys is not None:
+            return self._static_keys
+        return self.overlay.keys.astype(_U64, copy=False)
+
+    def _owner_indices(self, keys: np.ndarray) -> np.ndarray:
+        """Sorted member index of each key's responsible owner."""
+        members = self._member_keys
+        if self._static_keys is not None:
+            idx, _ = ring_nearest(members, keys, self.space.bits)
+            return idx
+        owners = np.fromiter(
+            (self.overlay.owner_of(int(k)) for k in keys), dtype=_U64, count=keys.size
+        )
+        return np.searchsorted(members, owners).astype(_I64)
+
+    def holders_matrix(self, keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised holder sets: ``(holders (Q, count), count)``."""
+        members = self._member_keys
+        owner_idx = self._owner_indices(keys)
+        mat = expand_holders(members, owner_idx, self.replication)
+        return mat, mat.shape[1]
+
+    def holders_for(self, key: int) -> List[int]:
+        """Stationary nodes storing ``key``'s record (owner + neighbours)."""
+        mat, _ = self.holders_matrix(np.asarray([key], dtype=_U64))
+        return [int(h) for h in mat[0]]
+
+    def holders_for_many(self, keys) -> Dict[int, List[int]]:
+        """Batched :meth:`holders_for` (same shape as the oracle's)."""
+        key_list = [int(k) for k in keys]
+        if not key_list:
+            return {}
+        mat, _ = self.holders_matrix(np.asarray(key_list, dtype=_U64))
+        return {
+            k: [int(h) for h in mat[i]] for i, k in enumerate(key_list)
+        }
+
+    # ------------------------------------------------------------------
+    # Publish / resolve / withdraw
+    # ------------------------------------------------------------------
+    def _publish_batch(
+        self, items: List[Tuple[int, "NetworkAddress"]], now: float, ttl: float
+    ) -> Tuple[np.ndarray, int]:
+        """Vectorised store update for ascending ``(key, addr)`` pairs;
+        returns the holder matrix and per-row holder count."""
+        keys = np.asarray([k for k, _ in items], dtype=_U64)
+        mat, count = self.holders_matrix(keys)
+        b = len(items)
+        self.store.upsert(
+            keys=keys,
+            router=np.asarray([a.router for _, a in items], dtype=_I64),
+            port=np.asarray([a.port for _, a in items], dtype=_I64),
+            epoch=np.asarray([a.epoch for _, a in items], dtype=_I64),
+            published=np.full(b, float(now), dtype=_F64),
+            ttl=np.full(b, float(ttl), dtype=_F64),
+            holders=mat,
+            holder_count=np.full(b, count, dtype=_I64),
+        )
+        if self.ledger is not None:
+            self.ledger.add_many("registrations", mat.reshape(-1).tolist())
+        return mat, count
+
+    def publish(self, key: int, addr, now: float, ttl: float) -> List[int]:
+        """Store ``key → addr`` at every holder; returns the holder keys."""
+        mat, _ = self._publish_batch([(int(key), addr)], now, ttl)
+        self.publish_count += 1
+        return [int(h) for h in mat[0]]
+
+    def publish_many(self, updates, now: float, ttl: float):
+        """Batched publish, same result contract as the oracle's."""
+        from ..core.location import BatchPublishResult
+
+        items = sorted((int(k), addr) for k, addr in updates.items())
+        mat, _ = self._publish_batch(items, now, ttl)
+        holders_map: Dict[int, List[int]] = {}
+        holder_batches: Dict[int, List[int]] = {}
+        for i, (key, _) in enumerate(items):
+            row = [int(h) for h in mat[i]]
+            holders_map[key] = row
+            for h in row:
+                holder_batches.setdefault(h, []).append(key)
+        self.publish_count += len(items)
+        self.batch_publish_count += 1
+        return BatchPublishResult(holders=holders_map, holder_batches=holder_batches)
+
+    def _address_at(self, row: int):
+        from ..net.address import NetworkAddress
+
+        return NetworkAddress(
+            router=int(self.store.router[row]),
+            port=int(self.store.port[row]),
+            epoch=int(self.store.epoch[row]),
+        )
+
+    def resolve(self, key: int, now: float):
+        """Freshest record among ``key``'s *current* holders.
+
+        All replicas of a key share one record, so this reduces to: the
+        row exists, its lease is fresh, and at least one of the holders
+        that store it is still a current holder for the key.
+        """
+        self.resolve_count += 1
+        rows, hit = self.store.resolve_many(np.asarray([key], dtype=_U64), now)
+        if not bool(hit[0]):
+            return None
+        row = int(rows[0])
+        stored = set(
+            int(h)
+            for h in self.store.holders[row, : int(self.store.holder_count[row])]
+        )
+        if stored.isdisjoint(self.holders_for(int(key))):
+            return None
+        return self._address_at(row)
+
+    def resolve_at(self, holder: int, key: int, now: float):
+        """Lookup at one specific holder (discovery route terminus)."""
+        rows, hit = self.store.resolve_many(np.asarray([key], dtype=_U64), now)
+        if not bool(hit[0]):
+            return None
+        row = int(rows[0])
+        stored = self.store.holders[row, : int(self.store.holder_count[row])]
+        if not bool(np.any(stored == _U64(int(holder)))):
+            return None
+        return self._address_at(row)
+
+    def resolve_array(
+        self, keys: np.ndarray, now: float
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Bulk lookup resolution for the scale engine: one searchsorted
+        over the full key column.  Returns ``(hit, router, port, epoch)``
+        columns; counts every query in ``resolve_count``."""
+        self.resolve_count += int(keys.size)
+        rows, hit = self.store.resolve_many(keys, now)
+        router = np.where(hit, self.store.router[rows], -1)
+        port = np.where(hit, self.store.port[rows], -1)
+        epoch = np.where(hit, self.store.epoch[rows], -1)
+        return hit, router, port, epoch
+
+    def withdraw(self, key: int) -> int:
+        """Remove all records for ``key``; returns replicas removed."""
+        counts = self.store.remove(np.asarray([key], dtype=_U64))
+        return int(counts.sum())
+
+    def withdraw_many(self, keys: np.ndarray) -> int:
+        """Bulk withdrawal; returns total replicas removed."""
+        counts = self.store.remove(keys)
+        return int(counts.sum())
+
+    def expire_leases(self, now: float) -> List[int]:
+        """Drop every record whose lease lapsed before ``now`` — the
+        sorted-expiry prefix sweep.  Returns the expired keys, ascending."""
+        return [int(k) for k in self.store.expire(now)]
+
+    # ------------------------------------------------------------------
+    # Introspection / maintenance
+    # ------------------------------------------------------------------
+    def records_at(self, holder: int) -> Dict[int, "LocationRecord"]:
+        """All records a holder currently stores (object view for parity
+        with the oracle's per-holder responsibility accounting)."""
+        from ..core.location import LocationRecord
+
+        s = self.store
+        # Only the first holder_count slots of a row are live; the rest is
+        # zero padding that must not match a real holder key of 0.
+        valid = np.arange(s.holders.shape[1])[None, :] < s.holder_count[:, None]
+        mask = np.any((s.holders == _U64(int(holder))) & valid, axis=1)
+        out: Dict[int, LocationRecord] = {}
+        for row in np.nonzero(mask)[0]:
+            r = int(row)
+            key = int(s.keys[r])
+            out[key] = LocationRecord(
+                key=key,
+                addr=self._address_at(r),
+                published_at=float(s.published[r]),
+                ttl=float(s.ttl[r]),
+            )
+        return out
+
+    def holder_load(self) -> Dict[int, int]:
+        """Record count per stationary holder (live holders only)."""
+        s = self.store
+        if not len(s):
+            return {}
+        valid = np.arange(s.holders.shape[1])[None, :] < s.holder_count[:, None]
+        uniq, counts = np.unique(s.holders[valid], return_counts=True)
+        return {int(k): int(c) for k, c in zip(uniq, counts)}
+
+    def rebalance_after_membership_change(self, all_keys, now: float) -> None:
+        """Re-place every live, fresh record on the holders implied by the
+        current membership (same survivors as the oracle's rebalance)."""
+        s = self.store
+        if not len(s):
+            return
+        keep = s.expiry >= now
+        if all_keys is not None:
+            live = np.asarray(sorted({int(k) for k in all_keys}), dtype=_U64)
+            keep &= np.isin(s.keys, live)
+        cols = s._select(keep)
+        keys = cols["keys"]
+        self.store = ColumnarStore(self.replication)
+        if not keys.size:
+            return
+        mat, count = self.holders_matrix(keys)
+        self.store.upsert(
+            keys=keys,
+            router=cols["router"],
+            port=cols["port"],
+            epoch=cols["epoch"],
+            published=cols["published"],
+            ttl=cols["ttl"],
+            holders=mat,
+            holder_count=np.full(keys.size, count, dtype=_I64),
+        )
+        if self.ledger is not None:
+            self.ledger.add_many("registrations", mat.reshape(-1).tolist())
+
+    def snapshot(self) -> Tuple[tuple, ...]:
+        """Canonical state: (key, holder, router, port, epoch, published,
+        ttl) rows sorted by (key, holder) — must be bit-identical to the
+        oracle's ``LocationDirectory.snapshot`` on any seeded scenario."""
+        return tuple(self.store.snapshot_rows())
+
+
+class StatePairColumns:
+    """Registration/state-pair tables as parallel columns.
+
+    Rows are (registrant, key) pairs — "registrant holds a leased
+    state-pair for key" — sorted lexicographically, with address triple,
+    lease times and the advertised capacity alongside.  Bridges to and
+    from the per-node ``StateTable`` object model so parity tests can
+    check the columnar lease kernels against the scalar ones.
+    """
+
+    COLUMNS = (
+        "registrant",
+        "key",
+        "router",
+        "port",
+        "epoch",
+        "refreshed",
+        "ttl",
+        "capacity",
+    )
+
+    def __init__(self, columns: Dict[str, np.ndarray]) -> None:
+        missing = set(self.COLUMNS) - set(columns)
+        if missing:
+            raise ValueError(f"missing columns: {sorted(missing)}")
+        order = np.lexsort((columns["key"], columns["registrant"]))
+        for name in self.COLUMNS:
+            setattr(self, name, np.asarray(columns[name])[order])
+
+    def __len__(self) -> int:
+        return int(self.registrant.size)
+
+    @classmethod
+    def from_tables(cls, tables: Dict[int, "StateTable"]) -> "StatePairColumns":
+        """Flatten many nodes' state tables into one column set."""
+        cols: Dict[str, List] = {name: [] for name in cls.COLUMNS}
+        for owner in sorted(tables):
+            for pair in tables[owner]:
+                cols["registrant"].append(owner)
+                cols["key"].append(pair.key)
+                cols["router"].append(pair.addr.router if pair.addr else -1)
+                cols["port"].append(pair.addr.port if pair.addr else -1)
+                cols["epoch"].append(pair.addr.epoch if pair.addr else -1)
+                cols["refreshed"].append(pair.refreshed_at)
+                cols["ttl"].append(pair.ttl)
+                cols["capacity"].append(pair.capacity)
+        return cls(
+            {
+                "registrant": np.asarray(cols["registrant"], dtype=_U64),
+                "key": np.asarray(cols["key"], dtype=_U64),
+                "router": np.asarray(cols["router"], dtype=_I64),
+                "port": np.asarray(cols["port"], dtype=_I64),
+                "epoch": np.asarray(cols["epoch"], dtype=_I64),
+                "refreshed": np.asarray(cols["refreshed"], dtype=_F64),
+                "ttl": np.asarray(cols["ttl"], dtype=_F64),
+                "capacity": np.asarray(cols["capacity"], dtype=_F64),
+            }
+        )
+
+    def expire(self, now: float) -> "StatePairColumns":
+        """Columnar lease sweep: drop every pair with
+        ``refreshed + ttl < now`` (exactly ``StatePair.is_fresh``'s
+        complement) in one vectorised pass."""
+        keep = (self.refreshed + self.ttl) >= now
+        return StatePairColumns(
+            {name: getattr(self, name)[keep] for name in self.COLUMNS}
+        )
+
+    def refresh_keys(self, keys: np.ndarray, now: float) -> int:
+        """Bulk lease renewal for every pair referencing ``keys``; returns
+        the number of pairs refreshed."""
+        hit = np.isin(self.key, keys.astype(_U64, copy=False))
+        self.refreshed = np.where(hit, float(now), self.refreshed)
+        return int(hit.sum())
+
+    def registry_sizes(self) -> Dict[int, int]:
+        """Pairs per referenced key — |R(i)| over the whole population."""
+        uniq, counts = np.unique(self.key, return_counts=True)
+        return {int(k): int(c) for k, c in zip(uniq, counts)}
+
+    def rows(self) -> List[tuple]:
+        """Canonical (registrant, key, router, port, epoch, refreshed,
+        ttl, capacity) tuples, ascending — the parity contract."""
+        out = []
+        for i in range(len(self)):  # repro-lint: disable=BRS009 canonical export walks rows by design
+            out.append(
+                tuple(
+                    (float if name in ("refreshed", "ttl", "capacity") else int)(
+                        getattr(self, name)[i]
+                    )
+                    for name in self.COLUMNS
+                )
+            )
+        return out
+
+
+# ----------------------------------------------------------------------
+# Keyspace-sharded million-node scenario
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class ScaleShardParams:
+    """One keyspace shard of the churn+traffic scale scenario.
+
+    The full population parameters travel with every shard: each worker
+    regenerates the (deterministic) stationary membership and the shared
+    lookup stream, then keeps only the mobile keys whose owner position
+    falls inside its shard.  Because every per-key event stream is a pure
+    function of ``mix64(key, seed)``, the union of any shard partition is
+    bit-identical to the serial run.
+    """
+
+    num_stationary: int
+    num_mobile: int
+    lookups: int
+    rounds: int
+    shard: int
+    shards: int
+    seed: int
+    key_bits: int = 32
+    replication: int = 3
+    base_ttl: float = 60.0
+    round_dt: float = 25.0
+    registry_size: int = 20
+
+
+@dataclasses.dataclass
+class ScaleShardResult:
+    """Shard outcome: additive stats plus the shard's final store rows."""
+
+    stats: Dict[str, int]
+    rows: List[tuple]
+
+
+def _draw_unique_keys(seed: int, name: str, count: int, bits: int) -> np.ndarray:
+    """Sorted unique uint64 keys, deterministic in (seed, name)."""
+    gen = np.random.default_rng(derive_seed(seed, name))
+    size = 1 << bits
+    keys = np.unique(gen.integers(0, size, size=count, dtype=_U64))
+    while keys.size < count:
+        extra = gen.integers(0, size, size=count - keys.size, dtype=_U64)
+        keys = np.unique(np.concatenate([keys, extra]))
+    return keys[:count]
+
+
+def run_scale_shard(p: ScaleShardParams) -> ScaleShardResult:
+    """Run one keyspace shard of the scale scenario, fully vectorised.
+
+    Per round: a one-pass TTL expiry sweep, a batched republish of every
+    mobile key whose (key-hashed) schedule says it moves, a batched
+    withdrawal of leaving keys, the Fig-4 advertisement fanout of the
+    movers (closed-form kernel), and this shard's slice of the global
+    lookup stream resolved in one kernel call.
+    """
+    if not 0 <= p.shard < p.shards:
+        raise ValueError("shard index out of range")
+    from ..overlay.keyspace import KeySpace
+
+    digit_bits = 4 if p.key_bits % 4 == 0 else 1
+    space = KeySpace(bits=p.key_bits, digit_bits=digit_bits)
+    stationary = _draw_unique_keys(p.seed, "scale|stationary", p.num_stationary, p.key_bits)
+    mobile = _draw_unique_keys(p.seed, "scale|mobile", p.num_mobile, p.key_bits)
+
+    # Keyspace sharding: a mobile key belongs to the shard owning its ring
+    # position, a pure function of (key, membership) — shard-invariant.
+    pos = np.searchsorted(stationary, mobile) % p.num_stationary  # ring wrap
+    shard_of = (pos.astype(np.int64) * p.shards) // p.num_stationary
+    mine = shard_of == p.shard
+    keys = mobile[mine]
+
+    directory = ColumnarDirectory(
+        space,
+        stationary_keys=stationary,
+        replication=p.replication,
+    )
+
+    # Per-key event schedules, hashed from the keys themselves.
+    h_move = mix64(keys, derive_seed(p.seed, "scale|moves"))
+    h_attr = mix64(keys, derive_seed(p.seed, "scale|attrs"))
+    move_mask = h_move  # bit r set → the key republishes in round r
+    leaves = (h_attr % _U64(8)) == 0  # ~1/8 of keys leave mid-run
+    leave_round = ((h_attr >> _U64(8)) % _U64(max(p.rounds, 1))).astype(_I64)
+    ttl = p.base_ttl * (1.0 + (h_attr >> _U64(16)) % _U64(3)).astype(_F64) / 2.0
+
+    # The global lookup stream (every shard derives the same one and keeps
+    # its own targets, so any partition replays the serial stream).
+    lgen = np.random.default_rng(derive_seed(p.seed, "scale|lookups"))
+    target_idx = lgen.integers(0, p.num_mobile, size=p.lookups)
+    lookup_round = (np.arange(p.lookups, dtype=_I64) * p.rounds) // max(p.lookups, 1)
+    target_keys = mobile[target_idx]
+    lk_mine = shard_of[target_idx] == p.shard
+
+    stats = {
+        "keys": int(keys.size),
+        "published": 0,
+        "expired": 0,
+        "withdrawn": 0,
+        "lookups": 0,
+        "hits": 0,
+        "replica_messages": 0,
+        "ldt_messages": 0,
+        "ldt_depth_sum": 0,
+    }
+
+    def publish_batch(batch: np.ndarray, now: float, epoch_val: int) -> None:
+        if not batch.size:
+            return
+        hb = mix64(batch, derive_seed(p.seed, "scale|addr"))
+        items_router = (hb & _U64(0xFFFF)).astype(_I64)
+        items_port = ((hb >> _U64(16)) & _U64(0xFFFF)).astype(_I64)
+        mat, count = directory.holders_matrix(batch)
+        bt = ttl[np.searchsorted(keys, batch)]
+        directory.store.upsert(
+            keys=batch,
+            router=items_router,
+            port=items_port,
+            epoch=np.full(batch.size, epoch_val, dtype=_I64),
+            published=np.full(batch.size, now, dtype=_F64),
+            ttl=bt,
+            holders=mat,
+            holder_count=np.full(batch.size, count, dtype=_I64),
+        )
+        directory.publish_count += int(batch.size)
+        stats["published"] += int(batch.size)
+        stats["replica_messages"] += int(batch.size) * count
+
+    departed = np.zeros(keys.size, dtype=bool)
+    publish_batch(keys, 0.0, 0)
+
+    for r in range(p.rounds):
+        now = (r + 1) * p.round_dt
+        stats["expired"] += len(directory.expire_leases(now))
+
+        leave_now = leaves & (leave_round == r) & ~departed
+        if np.any(leave_now):
+            stats["withdrawn"] += directory.withdraw_many(keys[leave_now])
+            departed |= leave_now
+
+        movers = (
+            ((move_mask >> _U64(r % 64)) & _U64(1)).astype(bool) & ~departed
+        )
+        move_keys = keys[movers]
+        publish_batch(move_keys, now, r + 1)
+        if move_keys.size:
+            hc = mix64(move_keys, derive_seed(p.seed, "scale|caps"))
+            caps = ((hc % _U64(15)) + _U64(1)).astype(_I64)
+            sizes = np.full(move_keys.size, p.registry_size, dtype=_I64)
+            msgs, depth = ldt_fanout(sizes, caps, caps)
+            stats["ldt_messages"] += int(msgs.sum())
+            stats["ldt_depth_sum"] += int(depth.sum())
+
+        in_round = lookup_round == r
+        q = target_keys[lk_mine & in_round]
+        if q.size:
+            hit, _, _, _ = directory.resolve_array(q, now + p.round_dt / 2.0)
+            stats["lookups"] += int(q.size)
+            stats["hits"] += int(hit.sum())
+
+    return ScaleShardResult(stats=stats, rows=directory.store.snapshot_rows())
+
+
+def merge_shard_results(
+    results: Sequence[ScaleShardResult],
+) -> Tuple[Dict[str, int], List[tuple], str]:
+    """Combine shard outcomes: summed stats, the merged (sorted) snapshot
+    and its checksum.  Keys never cross shards, so concatenation plus one
+    sort reproduces the serial run's snapshot exactly."""
+    stats: Dict[str, int] = {}
+    rows: List[tuple] = []
+    for res in results:
+        for k, v in res.stats.items():
+            stats[k] = stats.get(k, 0) + v
+        rows.extend(res.rows)
+    rows.sort()
+    return stats, rows, snapshot_checksum(rows)

@@ -572,6 +572,85 @@ class TestUnboundedSampleList:
 
 
 # ----------------------------------------------------------------------
+# BRS009 — per-row loops in columnar kernel modules
+# ----------------------------------------------------------------------
+class TestPerRowColumnarLoop:
+    COLUMNAR = "src/repro/sim/columnar.py"
+
+    def test_range_len_walk_fires(self):
+        found = lint(
+            """
+            def export(table):
+                out = []
+                for i in range(len(table)):
+                    out.append(table[i])
+                return out
+            """,
+            path=self.COLUMNAR,
+        )
+        assert codes(found) == ["BRS009"]
+
+    def test_tolist_materialisation_fires(self):
+        found = lint(
+            """
+            def walk(col):
+                for v in col.tolist():
+                    print(v)
+            """,
+            path=self.COLUMNAR,
+        )
+        assert codes(found) == ["BRS009"]
+
+    def test_membership_array_iteration_fires(self):
+        found = lint(
+            """
+            def fanout(store):
+                for h in store.holders:
+                    store.send(h)
+            """,
+            path=self.COLUMNAR,
+        )
+        assert codes(found) == ["BRS009"]
+
+    def test_bounded_loops_clean(self):
+        # Loops over rounds / fixed column names are not per-row walks.
+        found = lint(
+            """
+            def rounds(p, cols):
+                for r in range(p.rounds):
+                    pass
+                for name in cols.items():
+                    pass
+            """,
+            path=self.COLUMNAR,
+        )
+        assert found == []
+
+    def test_out_of_scope_module_clean(self):
+        # The object model may walk its members; only kernels are scoped.
+        found = lint(
+            """
+            def holders(self, keys):
+                for k in keys:
+                    yield self._holders[k]
+            """,
+            path="repro/core/location.py",
+        )
+        assert found == []
+
+    def test_suppression_with_reason_honoured(self):
+        found = lint(
+            """
+            def snapshot_rows(self):
+                for i in range(len(self)):  # repro-lint: disable=BRS009 canonical export walks rows by design
+                    yield i
+            """,
+            path=self.COLUMNAR,
+        )
+        assert found == []
+
+
+# ----------------------------------------------------------------------
 # Suppressions
 # ----------------------------------------------------------------------
 class TestSuppressions:
@@ -650,10 +729,10 @@ class TestEngine:
         with pytest.raises(ValueError):
             lint_source("x = 1\n", select=["BRS999"])
 
-    def test_registry_lists_eight_rules(self):
+    def test_registry_lists_nine_rules(self):
         assert sorted(RULES) == [
             "BRS001", "BRS002", "BRS003", "BRS004", "BRS005", "BRS006",
-            "BRS007", "BRS008",
+            "BRS007", "BRS008", "BRS009",
         ]
         for code, rule in RULES.items():
             assert rule.code == code
