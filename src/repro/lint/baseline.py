@@ -1,0 +1,105 @@
+"""Baseline ratchet for lint v2.
+
+A baseline file records the *known* violations of a tree at one moment,
+as line-number-independent fingerprints ``(rule, path, message)``.  With
+``--baseline`` the engine excuses exactly those — each fingerprint
+forgives as many hits as it was recorded with, no more — so a new rule
+can land enforcing-by-default while the existing debt is paid down
+incrementally.  The ratchet works both ways:
+
+* a violation **not** in the baseline still fails the run (no new debt);
+* a baseline entry that no longer fires is reported as *stale* so the
+  file shrinks monotonically (regenerate with ``--write-baseline``).
+
+An empty baseline (``entries: []``) is the steady state this repo
+commits: the tree lints clean, and any future ratchet starts from an
+explicit, reviewed file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Tuple
+
+from .engine import LintReport, Violation
+
+__all__ = [
+    "BASELINE_VERSION",
+    "load_baseline",
+    "apply_baseline",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+
+Fingerprint = Tuple[str, str, str]
+
+
+def load_baseline(path: str) -> List[Fingerprint]:
+    """Fingerprints recorded in ``path``; a missing file is an empty
+    baseline (nothing excused), a malformed one raises ``ValueError``."""
+    if not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or not isinstance(data.get("entries"), list):
+        raise ValueError(f"{path}: not a repro-lint baseline file")
+    out: List[Fingerprint] = []
+    for entry in data["entries"]:
+        if not isinstance(entry, dict):
+            raise ValueError(f"{path}: malformed baseline entry: {entry!r}")
+        out.append(
+            (str(entry["rule"]), str(entry["path"]), str(entry["message"]))
+        )
+    return out
+
+
+def apply_baseline(report: LintReport, entries: List[Fingerprint]) -> None:
+    """Split ``report.violations`` against the baseline, in place.
+
+    Matched violations move to ``report.baselined``; baseline entries
+    with no matching violation land in ``report.stale_baseline``.
+    Multiplicity counts: a fingerprint recorded twice excuses two hits.
+    """
+    budget: Dict[Fingerprint, int] = {}
+    for fp in entries:
+        budget[fp] = budget.get(fp, 0) + 1
+    kept: List[Violation] = []
+    excused: List[Violation] = []
+    for v in report.violations:
+        fp = v.fingerprint()
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            excused.append(v)
+        else:
+            kept.append(v)
+    report.violations = kept
+    report.baselined = excused
+    report.stale_baseline = [
+        {"rule": fp[0], "path": fp[1], "message": fp[2]}
+        for fp, left in sorted(budget.items())
+        for _ in range(left)
+    ]
+
+
+def write_baseline(path: str, report: LintReport) -> int:
+    """Record the report's violations (current + already-baselined) as
+    the new baseline; returns the entry count.  Creates parent dirs."""
+    fingerprints = sorted(
+        v.fingerprint() for v in (*report.violations, *report.baselined)
+    )
+    payload = {
+        "kind": "repro-lint-baseline",
+        "version": BASELINE_VERSION,
+        "entries": [
+            {"rule": fp[0], "path": fp[1], "message": fp[2]}
+            for fp in fingerprints
+        ],
+    }
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return len(fingerprints)

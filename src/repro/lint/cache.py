@@ -1,0 +1,177 @@
+"""Incremental analysis cache for lint v2.
+
+Per-file analysis (parse + per-file rules + fact extraction) dominates a
+lint run; the graph passes over extracted facts are cheap.  So the cache
+stores exactly the per-file product — a serialised
+:class:`~repro.lint.engine._FileEntry` — keyed by the file's **content
+hash**, never its mtime: a rebuilt checkout with identical bytes stays
+warm, a one-byte edit misses.
+
+The whole store is additionally keyed by a *tool signature*: a digest of
+every ``repro/lint/*.py`` source file plus the fact-schema version.  Any
+change to the linter itself (a new rule, a fact-extractor fix) flips the
+signature and invalidates everything at once, so stale entries can never
+masquerade as fresh analysis.
+
+The store is one JSON file (default ``.repro-lint-cache.json``, see the
+CLI) — trivially persisted by ``actions/cache`` in CI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional, Set
+
+from .engine import Violation, _FileEntry
+from .project import FACTS_VERSION
+
+__all__ = ["CacheStore", "content_digest", "tool_signature", "DEFAULT_CACHE_PATH"]
+
+DEFAULT_CACHE_PATH = ".repro-lint-cache.json"
+
+#: Bumped on incompatible cache-entry layout changes.
+CACHE_VERSION = 1
+
+
+def content_digest(source: str) -> str:
+    """Hex digest of one file's content (the per-entry cache key)."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def tool_signature() -> str:
+    """Digest of the linter's own source — the store-wide invalidator."""
+    h = hashlib.sha256()
+    h.update(f"facts={FACTS_VERSION};cache={CACHE_VERSION};".encode())
+    pkg_dir = os.path.dirname(os.path.abspath(__file__))
+    for name in sorted(os.listdir(pkg_dir)):
+        if not name.endswith(".py"):
+            continue
+        h.update(name.encode())
+        with open(os.path.join(pkg_dir, name), "rb") as fh:
+            h.update(fh.read())
+    return h.hexdigest()
+
+
+def _violation_to_dict(v: Violation) -> Dict[str, object]:
+    return v.as_dict()
+
+
+def _violation_from_dict(data: Dict[str, object]) -> Violation:
+    chain = data.get("chain")
+    return Violation(
+        rule=str(data["rule"]),
+        path=str(data["path"]),
+        line=int(data["line"]),  # type: ignore[arg-type]
+        col=int(data["col"]),  # type: ignore[arg-type]
+        message=str(data["message"]),
+        chain=tuple(str(c) for c in chain) if isinstance(chain, list) else None,
+    )
+
+
+def _entry_to_dict(entry: _FileEntry) -> Dict[str, object]:
+    return {
+        "path": entry.path,
+        "violations_by_rule": {
+            code: [_violation_to_dict(v) for v in vs]
+            for code, vs in sorted(entry.violations_by_rule.items())
+        },
+        "problems": [_violation_to_dict(v) for v in entry.problems],
+        "suppressions": {
+            str(line): sorted(codes)
+            for line, codes in sorted(entry.suppressions.items())
+        },
+        "facts": entry.facts,
+    }
+
+
+def _entry_from_dict(data: Dict[str, object]) -> _FileEntry:
+    raw_rules = data["violations_by_rule"]
+    assert isinstance(raw_rules, dict)
+    raw_problems = data["problems"]
+    assert isinstance(raw_problems, list)
+    raw_supp = data["suppressions"]
+    assert isinstance(raw_supp, dict)
+    facts = data.get("facts")
+    suppressions: Dict[int, Set[str]] = {
+        int(line): {str(c) for c in codes} for line, codes in raw_supp.items()
+    }
+    return _FileEntry(
+        path=str(data["path"]),
+        violations_by_rule={
+            str(code): [_violation_from_dict(v) for v in vs]
+            for code, vs in raw_rules.items()
+        },
+        problems=[_violation_from_dict(v) for v in raw_problems],
+        suppressions=suppressions,
+        facts=facts if isinstance(facts, dict) else None,
+    )
+
+
+class CacheStore:
+    """Content-hash-keyed store of per-file analysis entries."""
+
+    def __init__(self, path: str, signature: str) -> None:
+        self.path = path
+        self.signature = signature
+        #: file path → {"digest": ..., "entry": serialised _FileEntry}
+        self._entries: Dict[str, Dict[str, object]] = {}
+        self._dirty = False
+
+    @classmethod
+    def load(cls, path: str) -> "CacheStore":
+        """Load a store; a missing/corrupt file or a signature mismatch
+        (the linter itself changed) yields an empty store."""
+        signature = tool_signature()
+        store = cls(path, signature)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return store
+        if (
+            not isinstance(data, dict)
+            or data.get("signature") != signature
+            or not isinstance(data.get("entries"), dict)
+        ):
+            store._dirty = True  # rewrite with the fresh signature
+            return store
+        store._entries = data["entries"]
+        return store
+
+    def get(self, path: str, digest: str) -> Optional[_FileEntry]:
+        """The cached entry for ``path`` iff its content still matches."""
+        slot = self._entries.get(path)
+        if slot is None or slot.get("digest") != digest:
+            return None
+        entry = slot.get("entry")
+        if not isinstance(entry, dict):
+            return None
+        try:
+            return _entry_from_dict(entry)
+        except (KeyError, TypeError, ValueError, AssertionError):
+            return None
+
+    def put(self, path: str, digest: str, entry: _FileEntry) -> None:
+        """Record ``entry`` as the analysis of ``path`` at ``digest``."""
+        self._entries[path] = {"digest": digest, "entry": _entry_to_dict(entry)}
+        self._dirty = True
+
+    def save(self) -> None:
+        """Persist (atomically: temp file + rename) when anything changed."""
+        if not self._dirty:
+            return
+        payload = {
+            "kind": "repro-lint-cache",
+            "version": CACHE_VERSION,
+            "signature": self.signature,
+            "entries": self._entries,
+        }
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, separators=(",", ":"))
+        os.replace(tmp, self.path)
+        self._dirty = False

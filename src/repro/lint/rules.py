@@ -41,6 +41,9 @@ class Rule:
     code: str = ""
     name: str = ""
     summary: str = ""
+    #: Per-file rules see one :class:`FileContext`; the whole-program
+    #: rules (scope ``"project"``) live in :mod:`repro.lint.wholeprogram`.
+    scope: str = "file"
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         """Yield every violation of this rule in ``ctx``'s tree."""

@@ -1,0 +1,558 @@
+"""The whole-program rules (BRS010–BRS013) over a :class:`Project`.
+
+Unlike the per-file rules in :mod:`repro.lint.rules`, these see the
+entire ``repro`` package at once — the project model's symbol table and
+call graph (:mod:`repro.lint.project`) — so they can check provenance
+and purity properties no single file can witness:
+
+========  ==========================================================
+BRS010    RNG-stream provenance: every stream-name literal appears in
+          ``repro.sim.rng.STREAMS`` with its owning subsystem; the
+          same stream drawn from two unrelated subsystems is a
+          collision (hidden seed reuse)
+BRS011    transitive virtual-time purity: no call chain from
+          virtual-time code to a wall-clock read, and none from a
+          ``sweep_map`` worker to a ``global`` mutation — reported
+          with the full offending chain
+BRS012    metric-name consistency: emit sites registered in
+          ``repro.sim.metrics.METRIC_NAMES``; literal-name consumers
+          must have a live emitter; stale registry entries flagged
+BRS013    columnar ownership: numpy columns owned by
+          ``repro.sim.columnar`` are only mutated inside the kernel
+          module itself
+========  ==========================================================
+
+Rules yield plain :class:`~repro.lint.engine.Violation` objects; the
+engine applies each target file's inline suppressions afterwards.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .engine import Violation
+from .project import (
+    MetricUse,
+    ModuleFacts,
+    Project,
+    SinkFact,
+    StreamUse,
+)
+
+__all__ = ["ProjectRule", "PROJECT_RULES", "SuppressionMap"]
+
+#: path → {line → {codes}} — every file's inline-suppression table, so
+#: project rules can honour suppressions at sink lines they taint from.
+SuppressionMap = Mapping[str, Mapping[int, Set[str]]]
+
+#: Modules in which stream-name plumbing is implementation, not usage.
+_RNG_MODULE = ("repro", "sim", "rng")
+_METRICS_MODULE = ("repro", "sim", "metrics")
+_COLUMNAR_MODULE = ("repro", "sim", "columnar")
+
+#: Virtual-time packages (the BRS002 scope) and their allow-listed
+#: wall-clock modules, mirrored from the per-file rules.
+_VIRTUAL_TIME_PACKAGES = ("core", "overlay", "experiments")
+_WALLCLOCK_ALLOWED = {"repro.sim.profile", "repro.sim.trace"}
+
+
+class ProjectRule:
+    """Base: one code, one name, one project-wide ``check`` generator."""
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+    scope: str = "project"
+
+    def check_project(
+        self, project: Project, suppressions: SuppressionMap
+    ) -> Iterator[Violation]:
+        """Yield every violation of this rule across ``project``."""
+        raise NotImplementedError
+
+    def violation(
+        self,
+        facts: ModuleFacts,
+        lineno: int,
+        col: int,
+        message: str,
+        chain: Optional[List[str]] = None,
+    ) -> Violation:
+        """Construct a :class:`Violation` anchored in ``facts``'s file."""
+        return Violation(
+            rule=self.code,
+            path=facts.path,
+            line=lineno,
+            col=col,
+            message=message,
+            chain=tuple(chain) if chain is not None else None,
+        )
+
+
+def _registry(project: Project, module: Tuple[str, ...], name: str) -> Optional[Dict[str, object]]:
+    facts = project.modules.get(".".join(module))
+    if facts is None:
+        return None
+    entry = facts.registries.get(name)
+    if entry is None:
+        return None
+    return {"value": entry.get("value"), "lineno": entry.get("lineno"), "facts": facts}
+
+
+def _match_entry(name: str, entries: Mapping[str, object]) -> Optional[str]:
+    """The registry key covering ``name`` — exact first, then the most
+    specific ``prefix.*`` wildcard.  ``name`` may itself be a pattern
+    (``churn.*``), which matches an identical wildcard entry."""
+    if name in entries:
+        return name
+    best: Optional[str] = None
+    for key in entries:
+        if not key.endswith("*"):
+            continue
+        if fnmatch.fnmatchcase(name, key) or (
+            name.endswith("*") and name[:-1].startswith(key[:-1])
+        ):
+            if best is None or len(key) > len(best):
+                best = key
+    return best
+
+
+# ----------------------------------------------------------------------
+# BRS010 — RNG-stream provenance
+# ----------------------------------------------------------------------
+class StreamProvenance(ProjectRule):
+    """BRS010: every stream-name literal is registered in
+    ``repro.sim.rng.STREAMS`` under its owning subsystem; one stream
+    drawn from two unrelated subsystems is a seed-reuse collision."""
+
+    code = "BRS010"
+    name = "rng-stream-provenance"
+    summary = (
+        "stream names must be registered in repro.sim.rng.STREAMS with an "
+        "owning subsystem; cross-subsystem draws of one stream collide "
+        "(hidden seed reuse) unless registered as shared"
+    )
+
+    def _collect_uses(
+        self, project: Project
+    ) -> List[Tuple[ModuleFacts, StreamUse]]:
+        """Direct literal uses plus literals flowing into ``stream``
+        parameters through resolved call sites (the dataflow layer)."""
+        uses: List[Tuple[ModuleFacts, StreamUse]] = []
+        stream_params: Dict[str, int] = {}
+        for facts in project.modules.values():
+            stream_params.update(facts.stream_params)
+        for facts in project.modules.values():
+            if facts.module == _RNG_MODULE:
+                continue
+            for use in facts.stream_uses:
+                uses.append((facts, use))
+            for fn in facts.functions:
+                for call in fn.calls:
+                    for callee in project.resolve_call(facts, fn, call):
+                        idx = stream_params.get(callee)
+                        if idx is None:
+                            continue
+                        target = project.functions[callee]
+                        pos = idx - 1 if (target.is_method and call.kind == "attr") else idx
+                        literal: Optional[str] = None
+                        if 0 <= pos < len(call.str_args):
+                            literal = call.str_args[pos]
+                        if literal is None:
+                            for kw_name, kw_val in call.str_kwargs.items():
+                                if kw_name == "stream" or kw_name.endswith("_stream"):
+                                    literal = kw_val
+                                    break
+                        if literal is None:
+                            continue
+                        uses.append(
+                            (
+                                facts,
+                                StreamUse(
+                                    name=literal,
+                                    pattern=literal.endswith("*"),
+                                    lineno=call.lineno,
+                                    col=call.col,
+                                    via=f"param:{callee.rsplit('.', 1)[-1]}",
+                                ),
+                            )
+                        )
+        return uses
+
+    def check_project(
+        self, project: Project, suppressions: SuppressionMap
+    ) -> Iterator[Violation]:
+        """Check every stream-name use against ``STREAMS``."""
+        registry = _registry(project, _RNG_MODULE, "STREAMS")
+        if registry is None or not isinstance(registry["value"], dict):
+            facts = project.modules.get(".".join(_RNG_MODULE))
+            if facts is not None:
+                yield self.violation(
+                    facts,
+                    1,
+                    0,
+                    "repro.sim.rng must define a literal STREAMS registry "
+                    "(stream name -> StreamSpec) for BRS010 provenance",
+                )
+            return
+        raw_entries = registry["value"]
+        assert isinstance(raw_entries, dict)
+        entries: Dict[str, Dict[str, object]] = {
+            str(k): (v if isinstance(v, dict) else {})
+            for k, v in raw_entries.items()
+        }
+        uses = self._collect_uses(project)
+        used_keys: Dict[str, Set[str]] = {}
+        for facts, use in uses:
+            key = _match_entry(use.name, entries)
+            if key is None:
+                yield self.violation(
+                    facts,
+                    use.lineno,
+                    use.col,
+                    f"RNG stream {use.name!r} (via .{use.via.split(':')[-1]}) "
+                    "is not registered in repro.sim.rng.STREAMS — register "
+                    "it with its owning subsystem",
+                )
+                continue
+            spec = entries[key]
+            owner = str(spec.get("owner", ""))
+            raw_shared = spec.get("shared", ())
+            shared = (
+                {str(s) for s in raw_shared}
+                if isinstance(raw_shared, (list, tuple))
+                else set()
+            )
+            subsystem = facts.subsystem()
+            used_keys.setdefault(key, set()).add(subsystem)
+            allowed = {owner} | shared
+            if subsystem not in allowed:
+                others = ", ".join(sorted(allowed))
+                yield self.violation(
+                    facts,
+                    use.lineno,
+                    use.col,
+                    f"RNG stream {use.name!r} is owned by {others} but drawn "
+                    f"from {subsystem}: a cross-subsystem draw correlates "
+                    "seeded streams — register the subsystem in shared=(...) "
+                    "with a reason, or use a new stream name",
+                )
+        # Shared-by-design declarations must carry a reason; stale
+        # entries (registered, never used) rot the registry.
+        rng_facts = registry["facts"]
+        assert isinstance(rng_facts, ModuleFacts)
+        for key, spec in entries.items():
+            lineno = int(spec.get("lineno", registry["lineno"]))  # type: ignore[arg-type]
+            if spec.get("shared") and not str(spec.get("reason", "")).strip():
+                yield self.violation(
+                    rng_facts,
+                    lineno,
+                    0,
+                    f"STREAMS entry {key!r} is shared across subsystems but "
+                    "gives no reason — state why the collision is by design",
+                )
+            if key not in used_keys:
+                yield self.violation(
+                    rng_facts,
+                    lineno,
+                    0,
+                    f"STREAMS entry {key!r} has no draw site anywhere in the "
+                    "project: delete the stale registration",
+                )
+
+
+# ----------------------------------------------------------------------
+# BRS011 — transitive virtual-time purity / fork safety
+# ----------------------------------------------------------------------
+def _fmt_chain(project: Project, chain: Sequence[str], sink: SinkFact) -> List[str]:
+    """Human-readable call chain ending at the sink read/mutation."""
+    out: List[str] = []
+    for qual in chain:
+        facts = project.fact_module[qual]
+        fn = project.functions[qual]
+        out.append(f"{facts.path}:{fn.lineno}: {qual}()")
+    tail_facts = project.fact_module[chain[-1]]
+    out.append(f"{tail_facts.path}:{sink.lineno}: {sink.api}")
+    return out
+
+
+class TransitivePurity(ProjectRule):
+    """BRS011: call-graph-transitive BRS002/BRS004 — virtual-time code
+    must not *reach* a wall-clock read, and ``sweep_map`` workers must
+    not *reach* a process-global mutation, however many modules away."""
+
+    code = "BRS011"
+    name = "transitive-virtual-time-purity"
+    summary = (
+        "no call chain from virtual-time code to a wall-clock read, and "
+        "none from a sweep_map worker to a global mutation — the full "
+        "chain is reported"
+    )
+
+    def _suppressed(
+        self, suppressions: SuppressionMap, facts: ModuleFacts, lineno: int
+    ) -> bool:
+        table = suppressions.get(facts.path, {})
+        codes = table.get(lineno, set())
+        return bool({self.code, "BRS002", "BRS004"} & codes)
+
+    def _in_virtual_time(self, facts: ModuleFacts) -> bool:
+        return (
+            len(facts.module) >= 2
+            and facts.module[0] == "repro"
+            and facts.module[1] in _VIRTUAL_TIME_PACKAGES
+            and facts.dotted not in _WALLCLOCK_ALLOWED
+        )
+
+    def check_project(
+        self, project: Project, suppressions: SuppressionMap
+    ) -> Iterator[Violation]:
+        """Trace call chains from pure scopes to determinism sinks."""
+        # --- sinks -----------------------------------------------------
+        wall_sinks: Dict[str, SinkFact] = {}
+        global_sinks: Dict[str, SinkFact] = {}
+        for facts in project.modules.values():
+            allowed_wall = facts.dotted in _WALLCLOCK_ALLOWED
+            for fn in facts.functions:
+                for sink in fn.wallclock:
+                    if allowed_wall or self._suppressed(suppressions, facts, sink.lineno):
+                        continue
+                    wall_sinks.setdefault(fn.qualname, sink)
+                for sink in fn.globals_decl:
+                    if self._suppressed(suppressions, facts, sink.lineno):
+                        continue
+                    global_sinks.setdefault(fn.qualname, sink)
+
+        edges = project.call_edges()
+
+        # --- wall-clock purity: report at the scope-crossing edge ------
+        wall_reach = project.reach_chains(wall_sinks)
+        for facts in project.modules.values():
+            if not self._in_virtual_time(facts):
+                continue
+            for fn in facts.functions:
+                reported: Set[str] = set()
+                for callee, call in edges.get(fn.qualname, ()):  # type: ignore[union-attr]
+                    if callee in reported:
+                        continue
+                    callee_facts = project.fact_module[callee]
+                    if self._in_virtual_time(callee_facts):
+                        continue  # the crossing is reported at that function
+                    hit = wall_reach.get(callee)
+                    if hit is None:
+                        continue
+                    if self._suppressed(suppressions, facts, call.lineno):
+                        continue
+                    chain_quals, sink = hit
+                    chain = _fmt_chain(project, [fn.qualname] + chain_quals, sink)
+                    reported.add(callee)
+                    yield self.violation(
+                        facts,
+                        call.lineno,
+                        call.col,
+                        f"virtual-time function {fn.qualname}() transitively "
+                        f"reaches wall-clock read {sink.api} (chain of "
+                        f"{len(chain_quals)} call(s); see chain)",
+                        chain=chain,
+                    )
+
+        # --- fork safety: workers must not reach a global mutation -----
+        global_reach = project.reach_chains(global_sinks)
+        for facts in project.modules.values():
+            for worker_name in facts.sweep_workers:
+                qual = f"{facts.dotted}.{worker_name}"
+                fn = project.functions.get(qual)
+                if fn is None:
+                    continue
+                for callee, call in edges.get(qual, ()):  # type: ignore[union-attr]
+                    hit = global_reach.get(callee)
+                    if hit is None:
+                        continue
+                    if self._suppressed(suppressions, facts, call.lineno):
+                        continue
+                    chain_quals, sink = hit
+                    chain = _fmt_chain(project, [qual] + chain_quals, sink)
+                    yield self.violation(
+                        facts,
+                        call.lineno,
+                        call.col,
+                        f"sweep_map worker {worker_name}() transitively "
+                        f"mutates process-global state ({sink.api}): lost "
+                        "on fork, racy in-process (see chain)",
+                        chain=chain,
+                    )
+
+
+# ----------------------------------------------------------------------
+# BRS012 — metric-name consistency
+# ----------------------------------------------------------------------
+class MetricNameConsistency(ProjectRule):
+    """BRS012: counter/histogram emit sites agree with the registered
+    catalogue in ``repro.sim.metrics.METRIC_NAMES``, and every
+    literal-name consumer has a live emitter."""
+
+    code = "BRS012"
+    name = "metric-name-consistency"
+    summary = (
+        "metric emit sites must be registered in "
+        "repro.sim.metrics.METRIC_NAMES with the right kind; consumers of "
+        "unemitted names (and stale registry entries) are flagged"
+    )
+
+    def check_project(
+        self, project: Project, suppressions: SuppressionMap
+    ) -> Iterator[Violation]:
+        """Cross-check metric emit/consume sites against ``METRIC_NAMES``."""
+        registry = _registry(project, _METRICS_MODULE, "METRIC_NAMES")
+        if registry is None or not isinstance(registry["value"], dict):
+            facts = project.modules.get(".".join(_METRICS_MODULE))
+            if facts is not None:
+                yield self.violation(
+                    facts,
+                    1,
+                    0,
+                    "repro.sim.metrics must define a literal METRIC_NAMES "
+                    "registry (metric name -> kind) for BRS012 consistency",
+                )
+            return
+        raw_entries = registry["value"]
+        assert isinstance(raw_entries, dict)
+        entries: Dict[str, str] = {str(k): str(v) for k, v in raw_entries.items()}
+        emits: List[Tuple[ModuleFacts, MetricUse]] = []
+        consumes: List[Tuple[ModuleFacts, MetricUse]] = []
+        for facts in project.modules.values():
+            if facts.module in (_METRICS_MODULE, ("repro", "sim", "telemetry")):
+                continue  # the registry/merge plumbing handles names generically
+            for use in facts.metric_uses:
+                (emits if use.role == "emit" else consumes).append((facts, use))
+        emit_names = {use.name for _, use in emits}
+
+        for facts, use in emits:
+            key = _match_entry(use.name, entries)
+            if key is None:
+                yield self.violation(
+                    facts,
+                    use.lineno,
+                    use.col,
+                    f"metric {use.name!r} is emitted here but not registered "
+                    "in repro.sim.metrics.METRIC_NAMES — register it so "
+                    "manifest validators and bench gates can rely on it",
+                )
+            elif entries[key] != use.factory:
+                yield self.violation(
+                    facts,
+                    use.lineno,
+                    use.col,
+                    f"metric {use.name!r} is emitted as a {use.factory} but "
+                    f"registered as a {entries[key]!r} — one of the two is "
+                    "wrong",
+                )
+
+        for facts, use in consumes:
+            covered = use.name in emit_names or any(
+                e.endswith("*") and fnmatch.fnmatchcase(use.name, e)
+                for e in emit_names
+            )
+            if not covered:
+                yield self.violation(
+                    facts,
+                    use.lineno,
+                    use.col,
+                    f"metric {use.name!r} is consumed here but no emit site "
+                    "exists anywhere in the project — a dangling consumer "
+                    "reads zeros forever",
+                )
+
+        metrics_facts = registry["facts"]
+        assert isinstance(metrics_facts, ModuleFacts)
+        for key in entries:
+            alive = key in emit_names or any(
+                _match_entry(name, {key: entries[key]}) is not None
+                for name in emit_names
+            )
+            if not alive:
+                yield self.violation(
+                    metrics_facts,
+                    int(registry["lineno"]),  # type: ignore[arg-type]
+                    0,
+                    f"METRIC_NAMES entry {key!r} has no emit site anywhere "
+                    "in the project: delete the stale registration",
+                )
+
+
+# ----------------------------------------------------------------------
+# BRS013 — columnar column ownership
+# ----------------------------------------------------------------------
+#: Receiver-name tokens that mark an expression as a columnar table even
+#: when the constructor binding is out of view (attributes passed around).
+_COLUMNAR_BASE_TOKENS = ("store", "columns", "cols")
+
+
+class ColumnarOwnership(ProjectRule):
+    """BRS013: the numpy columns owned by ``repro.sim.columnar``
+    (``OWNED_COLUMNS``) may only be mutated inside the kernel module;
+    everything else must go through its batch-mutation API."""
+
+    code = "BRS013"
+    name = "columnar-ownership"
+    summary = (
+        "numpy columns owned by repro.sim.columnar (OWNED_COLUMNS) may "
+        "only be mutated inside the kernel module — use the batch "
+        "mutation API (upsert/remove/expire) elsewhere"
+    )
+
+    def check_project(
+        self, project: Project, suppressions: SuppressionMap
+    ) -> Iterator[Violation]:
+        """Flag owned-column mutations outside the kernel module."""
+        registry = _registry(project, _COLUMNAR_MODULE, "OWNED_COLUMNS")
+        if registry is None or not isinstance(registry["value"], list):
+            facts = project.modules.get(".".join(_COLUMNAR_MODULE))
+            if facts is not None:
+                yield self.violation(
+                    facts,
+                    1,
+                    0,
+                    "repro.sim.columnar must define a literal OWNED_COLUMNS "
+                    "tuple naming its column attributes for BRS013",
+                )
+            return
+        owned = {str(c) for c in registry["value"]}  # type: ignore[union-attr]
+        for facts in project.modules.values():
+            if facts.module == _COLUMNAR_MODULE:
+                continue
+            bases = tuple(facts.columnar_bases)
+            for store in facts.attr_stores:
+                if store.attr not in owned:
+                    continue
+                base = store.base
+                is_columnar = any(
+                    base == b or base.endswith("." + b) for b in bases
+                ) or any(
+                    tok in base.rsplit(".", 1)[-1].lower()
+                    for tok in _COLUMNAR_BASE_TOKENS
+                    if base
+                )
+                if is_columnar:
+                    yield self.violation(
+                        facts,
+                        store.lineno,
+                        store.col,
+                        f"column {store.attr!r} of a columnar table is "
+                        f"mutated outside the kernel module ({facts.dotted}):"
+                        " columnar columns are owned by repro.sim.columnar —"
+                        " mutate through its batch API",
+                    )
+
+
+#: Registry: code → project-rule instance, in code order.
+PROJECT_RULES: Dict[str, ProjectRule] = {
+    rule.code: rule
+    for rule in (
+        StreamProvenance(),
+        TransitivePurity(),
+        MetricNameConsistency(),
+        ColumnarOwnership(),
+    )
+}

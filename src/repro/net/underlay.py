@@ -148,22 +148,22 @@ class UnderlayCache:
         }
 
 
-_SHARED: Optional[UnderlayCache] = None
-_SHARED_LOCK = threading.Lock()
+# Constructed eagerly (an empty OrderedDict plus a lock — no underlays
+# are built until first use), so no code path ever rebinds the module
+# global: sweep workers inherit the parent's warm cache on fork and any
+# miss-side inserts they make stay local by design (BRS011 verifies no
+# worker-reachable ``global`` rebinding remains).
+_SHARED: UnderlayCache = UnderlayCache()
 
 
 def shared_underlay_cache() -> UnderlayCache:
-    """The process-wide underlay cache (created on first use).
+    """The process-wide underlay cache.
 
     Sweep drivers fetch bundles here so that one run's points — and, on
     fork platforms, the pool workers inheriting the parent's memory —
     share underlay construction.
     """
-    global _SHARED
-    with _SHARED_LOCK:
-        if _SHARED is None:
-            _SHARED = UnderlayCache()
-        return _SHARED
+    return _SHARED
 
 
 #: Counters that accumulate monotonically and therefore difference cleanly.

@@ -58,6 +58,7 @@ __all__ = [
     "ColumnarStore",
     "ColumnarDirectory",
     "StatePairColumns",
+    "OWNED_COLUMNS",
     "ScaleShardParams",
     "ScaleShardResult",
     "run_scale_shard",
@@ -68,6 +69,29 @@ __all__ = [
 #: Columnar kernels pack keys into uint64 columns; identifier rings wider
 #: than 63 bits would overflow the ring-distance arithmetic.
 MAX_COLUMNAR_BITS = 63
+
+#: Every column attribute owned by this module's struct-of-arrays tables
+#: (:class:`ColumnarStore` rows plus :class:`StatePairColumns.COLUMNS`).
+#: The whole-program linter (BRS013, :mod:`repro.lint.wholeprogram`)
+#: flags any store to one of these attributes on a columnar table
+#: outside this kernel module: column invariants (sort order, expiry
+#: ordering, holder fan-out) only hold when mutations go through the
+#: batch API (``upsert``/``remove``/``expire``/``refresh``).
+OWNED_COLUMNS = (
+    "keys",
+    "router",
+    "port",
+    "epoch",
+    "published",
+    "ttl",
+    "expiry",
+    "holders",
+    "holder_count",
+    "registrant",
+    "key",
+    "refreshed",
+    "capacity",
+)
 
 _U64 = np.uint64
 _I64 = np.int64

@@ -14,13 +14,15 @@ convenience helpers.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, TypeVar
+import dataclasses
+
+from typing import Dict, Iterable, List, Sequence, Tuple, TypeVar
 
 import numpy as np
 
 T = TypeVar("T")
 
-__all__ = ["RngStreams", "derive_seed"]
+__all__ = ["RngStreams", "derive_seed", "StreamSpec", "STREAMS"]
 
 # A fixed 64-bit mixing constant (splitmix64 increment) used to fold stream
 # names into the master seed.  Any odd constant works; this one is standard.
@@ -133,3 +135,205 @@ class RngStreams:
         namespace so trials are independent yet individually reproducible.
         """
         return RngStreams(derive_seed(self.master_seed, "spawn:" + name))
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamSpec:
+    """Provenance record for one named RNG stream (or ``prefix.*`` family).
+
+    The whole-program linter (BRS010, :mod:`repro.lint.wholeprogram`)
+    checks every stream-name literal in the tree against :data:`STREAMS`:
+    an unregistered name is a provenance hole, and a draw from a
+    subsystem outside ``{owner} | shared`` is a collision — two unrelated
+    subsystems advancing one seeded stream silently correlate their
+    draws.  Streams genuinely shared by design list the extra subsystems
+    in ``shared`` with a mandatory ``reason``.
+    """
+
+    owner: str  #: owning subsystem ("repro.net", "repro.core", ...)
+    purpose: str = ""  #: what the stream randomises
+    shared: Tuple[str, ...] = ()  #: additional subsystems allowed to draw
+    reason: str = ""  #: why sharing is by design (mandatory when shared)
+
+
+#: Central registry of every named RNG stream in the project, keyed by
+#: literal name or ``prefix.*`` wildcard (dynamic tails such as
+#: ``f"churn.{rate}"``).  Entries are data only — registration does not
+#: touch seed derivation, so adding one can never perturb existing draws.
+STREAMS: Dict[str, StreamSpec] = {
+    # -- network substrate (repro.net) ---------------------------------
+    "topology": StreamSpec(
+        owner="repro.net",
+        purpose="transit-stub underlay construction (domain sizes, edges, latencies)",
+    ),
+    "placement": StreamSpec(
+        owner="repro.net",
+        purpose="initial attachment router for every host",
+    ),
+    "mobility": StreamSpec(
+        owner="repro.net",
+        purpose="re-attachment router draws when hosts move",
+    ),
+    # -- core protocol (repro.core) ------------------------------------
+    "naming": StreamSpec(
+        owner="repro.core",
+        purpose="uniform key assignment for the baseline naming scheme",
+    ),
+    "naming.stationary": StreamSpec(
+        owner="repro.core",
+        purpose="stationary-band keys for the clustered naming scheme (§3)",
+    ),
+    "naming.mobile": StreamSpec(
+        owner="repro.core",
+        purpose="mobile-region keys for the clustered naming scheme (§3)",
+    ),
+    "registrations": StreamSpec(
+        owner="repro.core",
+        purpose="which stationary keys each mobile host registers under",
+    ),
+    "mobility.timing": StreamSpec(
+        owner="repro.core",
+        purpose="exponential inter-move delays for the mobility process",
+    ),
+    "join.bootstrap": StreamSpec(
+        owner="repro.core",
+        purpose="bootstrap-member choice for mobile joins",
+    ),
+    "routing.stale": StreamSpec(
+        owner="repro.core",
+        purpose="fractional stale-binding coin flips in route_preferring_resolved",
+    ),
+    # -- workload generators (repro.workloads) -------------------------
+    "type_a": StreamSpec(
+        owner="repro.workloads",
+        purpose="independent RngStreams namespace for the Type-A baseline scenario",
+    ),
+    "type_b": StreamSpec(
+        owner="repro.workloads",
+        purpose="independent RngStreams namespace for the Type-B baseline scenario",
+    ),
+    "churn": StreamSpec(
+        owner="repro.workloads",
+        purpose="Poisson churn schedules (move/leave/join interarrivals)",
+    ),
+    "routes": StreamSpec(
+        owner="repro.workloads",
+        purpose="stationary (source, destination) route workload pairs",
+        shared=("repro.experiments",),
+        reason="drivers that synthesise their own route endpoints draw the "
+        "same logical route-workload stream the sample helpers use, so "
+        "route workloads stay comparable across experiments",
+    ),
+    "lookups": StreamSpec(
+        owner="repro.workloads",
+        purpose="(member, data key) lookup workload pairs",
+    ),
+    "capacities": StreamSpec(
+        owner="repro.workloads",
+        purpose="per-node capacity draws (uniform and Pareto variants)",
+        shared=("repro.core",),
+        reason="BristleNetwork draws default node capacities itself with the "
+        "same logical workload stream so that explicit capacity workloads "
+        "and the built-in default are interchangeable seed-for-seed",
+    ),
+    # -- baselines (repro.baselines) -----------------------------------
+    "type_a.keys": StreamSpec(
+        owner="repro.baselines",
+        purpose="random key draws inside the Type-A home-agent baseline",
+    ),
+    # -- experiment drivers (repro.experiments) ------------------------
+    "keys": StreamSpec(
+        owner="repro.experiments",
+        purpose="uniform node-key populations drawn by sweep drivers",
+    ),
+    "data": StreamSpec(
+        owner="repro.experiments",
+        purpose="data-item keys for the data-access workload",
+    ),
+    "table1.lookups": StreamSpec(
+        owner="repro.experiments",
+        purpose="lookup endpoints for the Table-1 comparison",
+    ),
+    "table1.failures": StreamSpec(
+        owner="repro.experiments",
+        purpose="failed-holder draws for the Table-1 comparison",
+    ),
+    "churn.*": StreamSpec(
+        owner="repro.experiments",
+        purpose="per-move-rate child namespaces of the churn comparison",
+    ),
+    "churn.lookups": StreamSpec(
+        owner="repro.experiments",
+        purpose="lookup endpoints interleaved with churn events",
+    ),
+    "membership.schedule": StreamSpec(
+        owner="repro.experiments",
+        purpose="join/leave ordering for the membership-churn experiment",
+    ),
+    "membership.initial": StreamSpec(
+        owner="repro.experiments",
+        purpose="initial member keys for the membership-churn experiment",
+    ),
+    "membership.joiners": StreamSpec(
+        owner="repro.experiments",
+        purpose="joiner keys for the membership-churn experiment",
+    ),
+    "hotspot.lookups": StreamSpec(
+        owner="repro.experiments",
+        purpose="Zipf-skewed lookup draws for the hotspot experiment",
+    ),
+    "binding.lookups": StreamSpec(
+        owner="repro.experiments",
+        purpose="lookup endpoints for the early-binding experiment",
+    ),
+    "batch.shared": StreamSpec(
+        owner="repro.experiments",
+        purpose="shared-audience sampling for the batch-update experiment",
+    ),
+    "fig9.trees": StreamSpec(
+        owner="repro.experiments",
+        purpose="which mobile nodes' dissemination trees Fig-9 samples",
+    ),
+    "reliability.failures": StreamSpec(
+        owner="repro.experiments",
+        purpose="failed-holder draws for the reliability experiment",
+    ),
+    "failed.*": StreamSpec(
+        owner="repro.experiments",
+        purpose="per-fraction failed-node draws for the reliability sweep",
+    ),
+    "routes.*": StreamSpec(
+        owner="repro.experiments",
+        purpose="per-fraction route draws for the reliability sweep",
+    ),
+    "overlay_choice": StreamSpec(
+        owner="repro.experiments",
+        purpose="route endpoints for the overlay-choice comparison",
+    ),
+    "ipv6.lookups": StreamSpec(
+        owner="repro.experiments",
+        purpose="lookup endpoints for the IPv6-style Type-B comparison",
+    ),
+    "stale.*": StreamSpec(
+        owner="repro.experiments",
+        purpose="per-p_stale coin-flip streams for the staleness sweep "
+        "(one stream per point, so points stay order-independent)",
+    ),
+    "fig8": StreamSpec(
+        owner="repro.experiments",
+        purpose="default capacity draws for a single random LDT build",
+    ),
+    "fig8a.*": StreamSpec(
+        owner="repro.experiments",
+        purpose="per-registry-size capacity draws for Fig-8a",
+    ),
+    "fig8b.*": StreamSpec(
+        owner="repro.experiments",
+        purpose="per-max-capacity capacity draws for Fig-8b",
+    ),
+    "fig8w.*": StreamSpec(
+        owner="repro.experiments",
+        purpose="per-workload-fraction capacity draws for the Fig-8 "
+        "used-capacity extension",
+    ),
+}

@@ -19,6 +19,7 @@ import textwrap
 import pytest
 
 from repro.lint import (
+    PROJECT_RULES,
     RULES,
     LintReport,
     lint_paths,
@@ -782,12 +783,17 @@ class TestEngine:
 # Meta: the repository's own tree must lint clean
 # ----------------------------------------------------------------------
 class TestRepositoryClean:
-    def test_src_and_tests_lint_clean(self):
+    def test_src_and_tests_lint_clean_under_all_thirteen_rules(self):
+        select = sorted(RULES) + sorted(PROJECT_RULES)
+        assert len(select) == 13
         report = lint_paths(
-            [os.path.join(ROOT, "src"), os.path.join(ROOT, "tests")]
+            [os.path.join(ROOT, "src"), os.path.join(ROOT, "tests")],
+            select=select,
         )
         assert isinstance(report, LintReport)
         assert report.files > 0
+        # The whole-program pass actually ran, not just the file rules.
+        assert set(report.rule_timings) >= set(PROJECT_RULES)
         offending = "\n".join(v.render() for v in report.violations)
         assert report.clean, f"repo tree has lint violations:\n{offending}"
 
