@@ -9,13 +9,18 @@ harness measures it two ways:
   sharded must merge to bit-identical snapshots; the stats and the
   (integer-folded) snapshot checksum are emitted for the CI gate.  This
   section is the same size at every ``--scale`` so the committed
-  baseline stays comparable.
+  baseline stays comparable.  A second fixed scenario
+  (``determinism_traffic``) does the same for the Zipf traffic mix that
+  drives the columnar LDT forest.
 * **throughput** — the scale-keyed scenario (``--scale full`` is the
   acceptance run: 10^6 stationary keys, 10^5 mobile keys, 10^5 lookups
   with churn) timed end to end: nodes/sec (population over wall time),
   events/sec (publishes + expiries + withdrawals + lookups over wall
-  time) and the process peak RSS
-  (:func:`repro.experiments.manifest.peak_rss_kb`).
+  time), multicast deliveries/sec and LDT builds/sec (the forest
+  engine's dissemination rate) and the process peak RSS
+  (:func:`repro.experiments.manifest.peak_rss_kb`).  A second timed
+  section (``traffic_throughput``) runs the Zipf advertisement/lookup
+  mix, whose forests are popularity-skewed rather than mover-driven.
 
 Writes
 
@@ -46,8 +51,10 @@ from repro import sanitize  # noqa: E402
 from repro.experiments.manifest import peak_rss_kb  # noqa: E402
 from repro.sim.columnar import (  # noqa: E402
     ScaleShardParams,
+    TrafficMixParams,
     merge_shard_results,
     run_scale_shard,
+    run_traffic_shard,
 )
 
 #: (num_stationary, num_mobile, lookups, rounds, shards) per scale.
@@ -56,11 +63,19 @@ SCALES = {
     "full": (1_000_000, 100_000, 100_000, 8, 8),
 }
 
+#: Same shape for the Zipf traffic mix — smaller mobile populations
+#: because every key advertises a popularity-ranked registry each wave.
+TRAFFIC_SCALES = {
+    "quick": (20_000, 8_000, 5_000, 6, 4),
+    "full": (200_000, 80_000, 50_000, 8, 8),
+}
+
 #: Fixed-size determinism scenario — identical at every --scale so the
 #: committed baseline gates the same numbers CI regenerates.
 DET_PARAMS = dict(num_stationary=2_500, num_mobile=1_200, lookups=1_500, rounds=6)
 DET_SEED = 53
 DET_SHARDS = 4
+DET_TRAFFIC_SEED = 61
 
 
 def _run_scenario(
@@ -109,6 +124,67 @@ def bench_determinism() -> Dict[str, object]:
         "withdrawn": s_stats["withdrawn"],
         "lookups": s_stats["lookups"],
         "hits": s_stats["hits"],
+        "ldt_trees": s_stats["ldt_trees"],
+        "ldt_messages": s_stats["ldt_messages"],
+        "ldt_depth_sum": s_stats["ldt_depth_sum"],
+        "multicast_deliveries": s_stats["multicast_deliveries"],
+        "live_rows": len(s_rows),
+        "checksum12": int(s_sum[:12], 16),
+        "sharded_matches_serial": 1,
+    }
+
+
+def _run_traffic(
+    num_stationary: int,
+    num_mobile: int,
+    lookups: int,
+    rounds: int,
+    shards: int,
+    *,
+    seed: int,
+) -> tuple:
+    """Run every traffic-mix shard in-process; (stats, rows, checksum)."""
+    results = [
+        run_traffic_shard(
+            TrafficMixParams(
+                num_stationary=num_stationary,
+                num_mobile=num_mobile,
+                lookups=lookups,
+                rounds=rounds,
+                shard=shard,
+                shards=shards,
+                seed=seed,
+            )
+        )
+        for shard in range(shards)
+    ]
+    return merge_shard_results(results)
+
+
+def bench_determinism_traffic() -> Dict[str, object]:
+    """Serial vs sharded Zipf traffic mix; gated section."""
+    s_stats, s_rows, s_sum = _run_traffic(
+        shards=1, seed=DET_TRAFFIC_SEED, **DET_PARAMS
+    )
+    m_stats, m_rows, m_sum = _run_traffic(
+        shards=DET_SHARDS, seed=DET_TRAFFIC_SEED, **DET_PARAMS
+    )
+    if (s_stats, s_rows, s_sum) != (m_stats, m_rows, m_sum):
+        raise AssertionError(
+            f"sharded traffic mix diverged from serial: {s_sum} != {m_sum}"
+        )
+    return {
+        "num_stationary": DET_PARAMS["num_stationary"],
+        "num_mobile": DET_PARAMS["num_mobile"],
+        "shards": DET_SHARDS,
+        "published": s_stats["published"],
+        "lookups": s_stats["lookups"],
+        "hits": s_stats["hits"],
+        "hot_lookups": s_stats["hot_lookups"],
+        "ldt_trees": s_stats["ldt_trees"],
+        "ldt_messages": s_stats["ldt_messages"],
+        "ldt_depth_sum": s_stats["ldt_depth_sum"],
+        "multicast_deliveries": s_stats["multicast_deliveries"],
         "live_rows": len(s_rows),
         "checksum12": int(s_sum[:12], 16),
         "sharded_matches_serial": 1,
@@ -137,11 +213,59 @@ def bench_throughput(scale: str) -> Dict[str, object]:
         "withdrawn": stats["withdrawn"],
         "lookups": stats["lookups"],
         "hits": stats["hits"],
+        "ldt_trees": stats["ldt_trees"],
+        "multicast_deliveries": stats["multicast_deliveries"],
         "live_rows": len(rows),
         "checksum12": int(checksum[:12], 16),
         "wall_s": round(wall, 3),
         "nodes_per_sec": round(nodes / wall, 1) if wall else None,
         "events_per_sec": round(events / wall, 1) if wall else None,
+        "ldt_builds_per_sec": round(stats["ldt_trees"] / wall, 1)
+        if wall
+        else None,
+        "multicast_deliveries_per_sec": round(
+            stats["multicast_deliveries"] / wall, 1
+        )
+        if wall
+        else None,
+        "peak_rss_kb": peak_rss_kb(),
+    }
+
+
+def bench_traffic_throughput(scale: str) -> Dict[str, object]:
+    """Timed Zipf traffic mix; informational (never gated)."""
+    num_stationary, num_mobile, lookups, rounds, shards = TRAFFIC_SCALES[scale]
+    t0 = time.perf_counter()
+    stats, rows, checksum = _run_traffic(
+        num_stationary, num_mobile, lookups, rounds, shards,
+        seed=DET_TRAFFIC_SEED,
+    )
+    wall = time.perf_counter() - t0
+    nodes = num_stationary + num_mobile
+    return {
+        "num_stationary": num_stationary,
+        "num_mobile": num_mobile,
+        "shards": shards,
+        "rounds": rounds,
+        "published": stats["published"],
+        "lookups": stats["lookups"],
+        "hits": stats["hits"],
+        "hot_lookups": stats["hot_lookups"],
+        "ldt_trees": stats["ldt_trees"],
+        "ldt_messages": stats["ldt_messages"],
+        "multicast_deliveries": stats["multicast_deliveries"],
+        "live_rows": len(rows),
+        "checksum12": int(checksum[:12], 16),
+        "wall_s": round(wall, 3),
+        "nodes_per_sec": round(nodes / wall, 1) if wall else None,
+        "ldt_builds_per_sec": round(stats["ldt_trees"] / wall, 1)
+        if wall
+        else None,
+        "multicast_deliveries_per_sec": round(
+            stats["multicast_deliveries"] / wall, 1
+        )
+        if wall
+        else None,
         "peak_rss_kb": peak_rss_kb(),
     }
 
@@ -164,8 +288,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     print("determinism: serial vs sharded fixed scenario ...", flush=True)
     determinism = bench_determinism()
+    print("determinism: serial vs sharded Zipf traffic mix ...", flush=True)
+    determinism_traffic = bench_determinism_traffic()
     print(f"throughput: --scale {args.scale} scenario ...", flush=True)
     throughput = bench_throughput(args.scale)
+    print(f"traffic throughput: --scale {args.scale} Zipf mix ...", flush=True)
+    traffic_throughput = bench_traffic_throughput(args.scale)
 
     payload = {
         "benchmark": "scale",
@@ -173,35 +301,52 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sanitize": bool(args.sanitize),
         "python": sys.version.split()[0],
         "determinism": determinism,
+        "determinism_traffic": determinism_traffic,
         "throughput": throughput,
+        "traffic_throughput": traffic_throughput,
     }
     if args.sanitize:
         payload["sanitize_checks"] = sanitize.counts().get("columnar", 0)
+        payload["sanitize_forest_checks"] = sanitize.counts().get(
+            "ldt_forest", 0
+        )
 
     RESULTS_DIR.mkdir(exist_ok=True)
     json_path = RESULTS_DIR / "BENCH_scale.json"
     json_path.write_text(json.dumps(payload, indent=2) + "\n")
 
     t = throughput
+    tm = traffic_throughput
     lines = [
         f"Columnar scale benchmark — struct-of-arrays engine "
         f"(scale={args.scale})",
         "",
         f"  determinism: {determinism['shards']}-shard run bit-identical to "
         f"serial (checksum12 {determinism['checksum12']})",
+        f"  determinism (traffic mix): {determinism_traffic['shards']}-shard "
+        f"run bit-identical to serial "
+        f"(checksum12 {determinism_traffic['checksum12']})",
         "",
         f"  {'stationary':>11} {'mobile':>8} {'shards':>7} {'events':>9} "
-        f"{'wall s':>8} {'nodes/s':>11} {'events/s':>10} {'peak RSS':>10}",
+        f"{'wall s':>8} {'nodes/s':>11} {'events/s':>10} {'deliv/s':>10} "
+        f"{'peak RSS':>10}",
         f"  {t['num_stationary']:>11} {t['num_mobile']:>8} {t['shards']:>7} "
         f"{t['published'] + t['expired'] + t['withdrawn'] + t['lookups']:>9} "
         f"{t['wall_s']:>8.2f} {t['nodes_per_sec']:>11.0f} "
         f"{t['events_per_sec']:>10.0f} "
+        f"{t['multicast_deliveries_per_sec']:>10.0f} "
         f"{str(t['peak_rss_kb']) + ' KiB' if t['peak_rss_kb'] is not None else 'n/a':>10}",
+        "",
+        f"  traffic mix (Zipf): {tm['ldt_trees']} forest builds, "
+        f"{tm['multicast_deliveries']} deliveries in {tm['wall_s']:.2f} s "
+        f"({tm['ldt_builds_per_sec']:.0f} builds/s, "
+        f"{tm['multicast_deliveries_per_sec']:.0f} deliveries/s)",
     ]
     if args.sanitize:
         lines.append("")
         lines.append(
             f"  sanitizer: {payload['sanitize_checks']} columnar checks, "
+            f"{payload['sanitize_forest_checks']} forest checks, "
             "0 violations"
         )
     text = "\n".join(lines)

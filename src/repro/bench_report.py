@@ -64,10 +64,13 @@ class Gate:
 #: Gated metrics per benchmark family.  Only deterministic quantities:
 #: accuracy/structure of the quantile sketch and hotspot statistics
 #: (``obs``), message-count reductions (``batch``), the columnar
-#: engine's fixed-size serial-vs-sharded scenario (``scale`` — exact
-#: event counts and the integer-folded snapshot checksum).  Timing
-#: families (``churn``, ``sweep``) and the ``scale`` throughput section
-#: stay informational.
+#: engine's fixed-size serial-vs-sharded scenarios (``scale`` — exact
+#: event counts and the integer-folded snapshot checksums, for both the
+#: churn scenario and the Zipf traffic mix) and the LDT forest's
+#: fixed-size structure section (``ldt`` — oracle-parity counts and the
+#: canonical edge-order checksum).  Timing families (``churn``,
+#: ``sweep``), the ``scale`` throughput sections and the ``ldt``
+#: speedup section stay informational.
 GATES: Dict[str, Tuple[Gate, ...]] = {
     "obs": (
         Gate("accuracy.*.rel_err_*", "lower", 0.10),
@@ -81,6 +84,10 @@ GATES: Dict[str, Tuple[Gate, ...]] = {
     ),
     "scale": (
         Gate("determinism.*", "equal", 1e-9),
+        Gate("determinism_traffic.*", "equal", 1e-9),
+    ),
+    "ldt": (
+        Gate("structure.*", "equal", 1e-9),
     ),
 }
 

@@ -25,6 +25,13 @@ from .config import BristleConfig
 from .failure import FailureDetector, Suspicion
 from .join import JoinReport, figure5_join
 from .ldt import LDTMember, LDTNode, LDTree, build_ldt, ldt_depth_bound
+from .ldt_forest import (
+    ForestSpec,
+    LDTForest,
+    build_forest_columns,
+    build_ldt_forest,
+    forest_depths,
+)
 from .ldt_nonmember import NonMemberTree, build_non_member_tree
 from .location import LocationDirectory, LocationRecord, RegistrationManager
 from .mobility import MobilityProcess, shuffle_all_mobile
@@ -61,6 +68,11 @@ __all__ = [
     "LDTree",
     "build_ldt",
     "ldt_depth_bound",
+    "ForestSpec",
+    "LDTForest",
+    "build_forest_columns",
+    "build_ldt_forest",
+    "forest_depths",
     "NonMemberTree",
     "build_non_member_tree",
     "LocationDirectory",

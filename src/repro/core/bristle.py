@@ -41,6 +41,7 @@ from ..sim.rng import RngStreams
 from ..sim.telemetry import Telemetry, active_telemetry
 from .config import BristleConfig
 from .ldt import LDTMember, LDTree, build_ldt, merge_registry_members
+from .ldt_forest import ForestSpec, build_ldt_forest
 from .location import (
     BatchPublishResult,
     LocationDirectory,
@@ -388,6 +389,17 @@ class BristleNetwork:
             [(router(a), router(b)) for a, b in pairs]
         )
 
+    @property
+    def ldt_cost_oracle(self) -> "_KeyCostOracle":
+        """Batched edge-cost oracle for :meth:`LDTree.edge_costs`.
+
+        Duck-types both ``distance`` forms the tree accepts: calling it
+        prices one key pair, while its ``route_costs`` prices a whole
+        edge list through :meth:`route_costs_between_keys` in one
+        multi-source Dijkstra gather.
+        """
+        return _KeyCostOracle(self)
+
     def prewarm_oracle(self, keys: Optional[Sequence[int]] = None) -> int:
         """Batch-compute oracle rows for the attachment routers of ``keys``
         (default: every node) — one multi-source Dijkstra call instead of
@@ -541,7 +553,26 @@ class BristleNetwork:
         self, key: int, *, locality_tie_break: bool = False
     ) -> LDTree:
         """Construct the advertisement tree for mobile node ``key`` from
-        its current registry (Fig 4)."""
+        its current registry (Fig 4).
+
+        Stays on the sequential recursion — this is the parity oracle the
+        forest builder is tested against; batch call sites go through
+        :meth:`build_ldt_for_many`.
+        """
+        spec = self._ldt_spec_for(key, locality_tie_break=locality_tie_break)
+        tree = build_ldt(
+            spec.root,
+            spec.registry,
+            unit_cost=spec.unit_cost,
+            tie_break=spec.tie_break,
+        )
+        self._ldt_metrics(tree)
+        return tree
+
+    def _ldt_spec_for(
+        self, key: int, *, locality_tie_break: bool = False
+    ) -> ForestSpec:
+        """The Fig-4 inputs of ``key``'s tree as one forest spec."""
         node = self.nodes[key]
         root = LDTMember(key=key, capacity=node.capacity, used=node.used)
         members = [
@@ -555,11 +586,72 @@ class BristleNetwork:
         tie = None
         if locality_tie_break:
             tie = lambda m: self.network_distance_between_keys(key, m.key)  # noqa: E731
-        tree = build_ldt(
-            root, members, unit_cost=self.config.unit_advertise_cost, tie_break=tie
+        return ForestSpec(
+            root=root,
+            registry=members,
+            unit_cost=self.config.unit_advertise_cost,
+            tie_break=tie,
         )
-        self._ldt_metrics(tree)
-        return tree
+
+    def build_ldt_for_many(
+        self, keys: Sequence[int], *, locality_tie_break: bool = False
+    ) -> Dict[int, LDTree]:
+        """Construct the advertisement trees of many mobile keys in one
+        vectorised pass through :func:`build_ldt_forest`.
+
+        Bit-identical to calling :meth:`build_ldt_for` per key (the forest
+        builder's parity guarantee), with the capacity sort and the Fig-4
+        recursion amortised across the whole batch; per-tree telemetry is
+        recorded in ``keys`` order, exactly as the sequential loop would.
+        """
+        key_list = [int(k) for k in keys]
+        forest = build_ldt_forest(
+            [
+                self._ldt_spec_for(k, locality_tie_break=locality_tie_break)
+                for k in key_list
+            ]
+        )
+        out: Dict[int, LDTree] = {}
+        for index, key in enumerate(key_list):
+            tree = forest.tree(index)
+            self._ldt_metrics(tree)
+            out[key] = tree
+        return out
+
+    def ldt_for_many(self, keys: Sequence[int]) -> Dict[int, LDTree]:
+        """Cached batch variant of :meth:`ldt_for`.
+
+        Every key pays the same fingerprint check (and the same
+        ``ldt.cache_hits``/``ldt.cache_misses`` accounting) as the scalar
+        path; the cache misses are then rebuilt together through the
+        forest builder instead of one recursion per key.
+        """
+        m = self.telemetry.metrics
+        out: Dict[int, LDTree] = {}
+        misses: List[int] = []
+        fingerprints: Dict[int, tuple] = {}
+        for key in keys:
+            key = int(key)
+            node = self.nodes[key]
+            fp = (
+                node.ldt_epoch,
+                tuple(self.nodes[r].ldt_epoch for r in sorted(node.registry)),
+            )
+            cached = self._ldt_cache.get(key)
+            if cached is not None and cached[0] == fp:
+                m.counter("ldt.cache_hits").inc()
+                out[key] = cached[1]
+                continue
+            m.counter("ldt.cache_misses").inc()
+            fingerprints[key] = fp
+            misses.append(key)
+        if misses:
+            rebuilt = self.build_ldt_for_many(misses)
+            for key in misses:
+                tree = rebuilt[key]
+                self._ldt_cache[key] = (fingerprints[key], tree)
+                out[key] = tree
+        return out
 
     def _ldt_metrics(self, tree: LDTree) -> None:
         m = self.telemetry.metrics
@@ -643,9 +735,21 @@ class BristleNetwork:
         tie = None
         if locality_tie_break:
             tie = lambda m: self.network_distance_between_keys(rep, m.key)  # noqa: E731
-        tree = build_ldt(
-            root, members, unit_cost=self.config.unit_advertise_cost, tie_break=tie
+        # Routed through the columnar forest builder (a batch of one):
+        # bit-identical to build_ldt on the same inputs, and the batched
+        # update path shares one construction code path with
+        # build_ldt_for_many / the scale engine.
+        forest = build_ldt_forest(
+            [
+                ForestSpec(
+                    root=root,
+                    registry=members,
+                    unit_cost=self.config.unit_advertise_cost,
+                    tie_break=tie,
+                )
+            ]
         )
+        tree = forest.tree(0)
         self._ldt_metrics(tree)
         return rep, tree
 
@@ -916,3 +1020,27 @@ class DiscoveryResult:
 
 
 __all__.append("DiscoveryResult")
+
+
+class _KeyCostOracle:
+    """Key-level edge-cost adapter over the network's path oracle.
+
+    Passed to :meth:`LDTree.edge_costs`/:meth:`LDTree.total_cost` as the
+    ``distance`` argument: the batched ``route_costs`` form prices every
+    tree edge in one oracle gather, and the scalar call form keeps the
+    plain-callable contract for code that prices one pair at a time.
+    """
+
+    __slots__ = ("_net",)
+
+    def __init__(self, net: BristleNetwork) -> None:
+        self._net = net
+
+    def __call__(self, a: int, b: int) -> float:
+        return self._net.network_distance_between_keys(a, b)
+
+    def route_costs(self, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
+        return self._net.route_costs_between_keys(pairs)
+
+
+__all__.append("_KeyCostOracle")

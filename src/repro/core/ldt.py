@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 __all__ = [
     "LDTMember",
@@ -99,11 +101,34 @@ class LDTree:
     root_key: int
     nodes: Dict[int, LDTNode]
     edges: List[Tuple[int, int]]
+    #: Derived-value cache — trees are immutable after build, so cached
+    #: levels/depth/message counts are never invalidated.  Excluded from
+    #: equality/repr so cached and fresh trees still compare equal.
+    _cache: Dict[str, Any] = dataclasses.field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def _level_array(self) -> np.ndarray:
+        """Member levels as one cached int64 array (root included)."""
+        levels = self._cache.get("levels")
+        if levels is None:
+            levels = np.fromiter(
+                (n.level for n in self.nodes.values()),
+                dtype=np.int64,
+                count=len(self.nodes),
+            )
+            self._cache["levels"] = levels
+        return levels
 
     @property
     def depth(self) -> int:
         """Maximum member level (0 when the tree has no members)."""
-        return max((n.level for n in self.nodes.values()), default=0)
+        depth = self._cache.get("depth")
+        if depth is None:
+            levels = self._level_array()
+            depth = int(levels.max()) if levels.size else 0
+            self._cache["depth"] = depth
+        return depth
 
     @property
     def num_members(self) -> int:
@@ -113,15 +138,20 @@ class LDTree:
     @property
     def message_count(self) -> int:
         """Advertisement messages sent (one per edge)."""
-        return len(self.edges)
+        count = self._cache.get("messages")
+        if count is None:
+            count = len(self.edges)
+            self._cache["messages"] = count
+        return count
 
     def level_histogram(self) -> Dict[int, int]:
         """member count per level (root level 0 excluded)."""
-        hist: Dict[int, int] = {}
-        for n in self.nodes.values():
-            if n.level > 0:
-                hist[n.level] = hist.get(n.level, 0) + 1
-        return hist
+        counts = np.bincount(self._level_array())
+        return {
+            level: int(count)
+            for level, count in enumerate(counts)
+            if level > 0 and count > 0
+        }
 
     def children_of(self, key: int) -> List[int]:
         """Child keys of ``key`` in the tree."""
@@ -133,12 +163,24 @@ class LDTree:
         Fig 9's metric: "E_ij is the minimal sum of path weights for the
         network links assembling the edge" — i.e. the shortest-path weight
         between the two endpoints.
+
+        ``distance`` is either a scalar ``(a, b) -> cost`` callable or a
+        batched oracle exposing ``route_costs(pairs)`` (``PathOracle`` /
+        ``BristleNetwork.ldt_cost_oracle``); the batched form prices all
+        edges in one multi-source Dijkstra pass instead of one scalar
+        ``distance(a, b)`` query per edge.
         """
+        if not self.edges:
+            return []
+        route_costs = getattr(distance, "route_costs", None)
+        if route_costs is not None:
+            return [float(c) for c in np.asarray(route_costs(self.edges), dtype=float)]
         return [distance(a, b) for a, b in self.edges]
 
     def total_cost(self, distance: Callable[[int, int], float]) -> float:
-        """Sum of all edge costs under ``distance``."""
-        return sum(self.edge_costs(distance))
+        """Sum of all edge costs under ``distance`` (batched when the
+        oracle form is passed — see :meth:`edge_costs`)."""
+        return float(sum(self.edge_costs(distance)))
 
     def validate(self) -> None:
         """Internal consistency checks (used by property tests).

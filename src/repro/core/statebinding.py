@@ -19,6 +19,7 @@ from typing import Callable, List, Optional, Sequence, Set
 
 from ..sim.engine import Engine
 from .bristle import BristleNetwork
+from .ldt import LDTree
 
 __all__ = ["BindingPolicy", "EarlyBinding", "LateBinding", "BindingStats"]
 
@@ -134,11 +135,16 @@ class EarlyBinding(BindingPolicy):
             live = [k for k in group if k in net.nodes]
             if live:
                 self._refresh_group(live)
-        for mk in net.mobile_keys:
-            if mk not in self._grouped:
-                self._refresh_one(mk)
+        ungrouped = [mk for mk in net.mobile_keys if mk not in self._grouped]
+        # One columnar forest pass rebuilds every cache-missed tree for the
+        # period; cache hits and trees are identical to per-key ldt_for.
+        trees = net.ldt_for_many(
+            [mk for mk in ungrouped if net.nodes[mk].registry]
+        )
+        for mk in ungrouped:
+            self._refresh_one(mk, tree=trees.get(mk))
 
-    def _refresh_one(self, mk: int) -> None:
+    def _refresh_one(self, mk: int, tree: Optional["LDTree"] = None) -> None:
         net = self.net
         node = net.nodes[mk]
         # §2.3.1 note (2): besides the LDT advertisement, the node
@@ -150,8 +156,10 @@ class EarlyBinding(BindingPolicy):
         self.stats.publishes += len(holders)
         if not node.registry:
             return
-        # Mobile node advertises its state down the (cached) LDT...
-        tree = net.ldt_for(mk)
+        # Mobile node advertises its state down the (cached) LDT — served
+        # from the caller's batched ldt_for_many pass when present.
+        if tree is None:
+            tree = net.ldt_for(mk)
         self.stats.advertisements += tree.message_count
         for entry in node.registry_entries():
             registrant = net.nodes.get(entry.key)

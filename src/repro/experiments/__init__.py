@@ -21,7 +21,14 @@ from .ext_overlay_choice import (
     run_overlay_choice,
 )
 from .ext_proximity import ProximityRoutingParams, run_proximity_routing
-from .ext_scaling import ScalingParams, run_scaling
+from .ext_scaling import (
+    ColumnarScaleParams,
+    ScalingParams,
+    TrafficMixScaleParams,
+    run_columnar_scale,
+    run_scaling,
+    run_traffic_mix,
+)
 from .ext_binding import (
     BindingCostParams,
     StalenessParams,
@@ -74,8 +81,12 @@ __all__ = [
     "run_data_availability",
     "ProximityRoutingParams",
     "run_proximity_routing",
+    "ColumnarScaleParams",
     "ScalingParams",
+    "TrafficMixScaleParams",
+    "run_columnar_scale",
     "run_scaling",
+    "run_traffic_mix",
     "BandPlacementParams",
     "run_band_placement",
     "Ipv6Params",

@@ -24,7 +24,14 @@ from ..core.mobility import shuffle_all_mobile
 from ..core.routing import route_with_resolution
 from ..net.underlay import build_underlay, shared_underlay_cache
 from ..sim.rng import derive_seed
-from ..sim.columnar import ScaleShardParams, ScaleShardResult, merge_shard_results, run_scale_shard
+from ..sim.columnar import (
+    ScaleShardParams,
+    ScaleShardResult,
+    TrafficMixParams,
+    merge_shard_results,
+    run_scale_shard,
+    run_traffic_shard,
+)
 from ..workloads.routes import sample_stationary_pairs
 from .common import ResultTable
 from .parallel import active_sweep, derive_point_seeds, sweep_map
@@ -32,8 +39,10 @@ from .parallel import active_sweep, derive_point_seeds, sweep_map
 __all__ = [
     "ColumnarScaleParams",
     "ScalingParams",
+    "TrafficMixScaleParams",
     "run_columnar_scale",
     "run_scaling",
+    "run_traffic_mix",
 ]
 
 
@@ -228,6 +237,112 @@ def run_columnar_scale(params: Optional[ColumnarScaleParams] = None) -> ResultTa
             "lookups": stats["lookups"],
             "hits": stats["hits"],
             "live rows": len(rows),
+            "checksum12": int(checksum[:12], 16),
+        }
+    )
+    return table
+
+
+@dataclasses.dataclass(frozen=True)
+class TrafficMixScaleParams:
+    """Population and sharding for the Zipf traffic-mix scale scenario.
+
+    The scenario (popularity-ranked registry sizes, Zipf lookup stream,
+    columnar-forest advertisement waves) lives in
+    :func:`repro.sim.columnar.run_traffic_shard`; this wrapper sizes it
+    and fans it out over keyspace shards.
+    """
+
+    num_stationary: int = 20_000
+    num_mobile: int = 8_000
+    lookups: int = 10_000
+    rounds: int = 8
+    shards: int = 4
+    seed: int = 61
+    key_bits: int = 32
+    replication: int = 3
+    zipf_s: float = 1.1
+    min_registry: int = 4
+    max_registry: int = 64
+
+    @classmethod
+    def quick_scale(cls) -> "TrafficMixScaleParams":
+        """CI-sized population: a few thousand keys, still 4 shards."""
+        return cls(num_stationary=2_500, num_mobile=1_200, lookups=1_500, rounds=6)
+
+
+def _traffic_shard(pt: TrafficMixParams) -> ScaleShardResult:
+    """Module-level (picklable) per-shard worker for :func:`sweep_map`."""
+    return run_traffic_shard(pt)
+
+
+def run_traffic_mix(params: Optional[TrafficMixScaleParams] = None) -> ResultTable:
+    """Zipf-skewed advertisement/lookup mix on the columnar engine.
+
+    Same sharding contract as :func:`run_columnar_scale`: one
+    :class:`~repro.sim.columnar.TrafficMixParams` per shard through
+    :func:`sweep_map`, merged bit-identically whatever the shard or job
+    count.  The table reports the dissemination side of the mix — forest
+    builds, multicast deliveries, depth — plus the hot-set lookup share
+    that makes the Zipf skew visible.
+    """
+    p = params if params is not None else TrafficMixScaleParams()
+    if p.shards < 1:
+        raise ValueError("shards must be >= 1")
+    points = [
+        TrafficMixParams(
+            num_stationary=p.num_stationary,
+            num_mobile=p.num_mobile,
+            lookups=p.lookups,
+            rounds=p.rounds,
+            shard=shard,
+            shards=p.shards,
+            seed=p.seed,
+            key_bits=p.key_bits,
+            replication=p.replication,
+            zipf_s=p.zipf_s,
+            min_registry=p.min_registry,
+            max_registry=p.max_registry,
+        )
+        for shard in range(p.shards)
+    ]
+    results = sweep_map(_traffic_shard, points)
+    stats, rows, checksum = merge_shard_results(results)
+    table = ResultTable(
+        title="Extension — Zipf traffic mix on the columnar LDT forest",
+        columns=[
+            "stationary",
+            "mobile",
+            "shards",
+            "published",
+            "ldt trees",
+            "multicast deliveries",
+            "mean depth",
+            "lookups",
+            "hit rate",
+            "hot share",
+            "checksum12",
+        ],
+        notes=[
+            f"{p.rounds} rounds, Zipf s={p.zipf_s}, registries "
+            f"{p.min_registry}..{p.max_registry} by popularity rank, seed "
+            f"{p.seed}; hot share = lookups on the top 1% of ranks; "
+            "checksum12 = first 12 hex digits of the merged snapshot "
+            "checksum (shard- and jobs-invariant)",
+        ],
+    )
+    table.add_row(
+        **{
+            "stationary": p.num_stationary,
+            "mobile": p.num_mobile,
+            "shards": p.shards,
+            "published": stats["published"],
+            "ldt trees": stats["ldt_trees"],
+            "multicast deliveries": stats["multicast_deliveries"],
+            "mean depth": stats["ldt_depth_sum"] / max(stats["ldt_trees"], 1),
+            "lookups": stats["lookups"],
+            "hit rate": stats["hits"] / max(stats["lookups"], 1),
+            "hot share": stats["hot_lookups"] / max(stats["lookups"], 1),
             "checksum12": int(checksum[:12], 16),
         }
     )

@@ -90,14 +90,15 @@ def measure_ldt_costs(
     per_tree_means: List[float] = []
     total_edges = 0
     with prof.phase("measure"):
+        oracle = net.ldt_cost_oracle
         for mk in mobile:
             if not net.nodes[mk].registry:
                 continue
             tree = net.build_ldt_for(mk, locality_tie_break=with_locality)
-            costs = net.route_costs_between_keys(tree.edges)
-            if costs.size:
+            costs = tree.edge_costs(oracle)
+            if costs:
                 per_tree_means.append(float(np.mean(costs)))
-                total_edges += int(costs.size)
+                total_edges += len(costs)
     return {
         "per_tree_per_edge_cost": float(np.mean(per_tree_means)) if per_tree_means else math.nan,
         "trees": float(len(per_tree_means)),

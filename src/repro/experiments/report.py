@@ -22,7 +22,13 @@ from .ext_hotspot import HotspotParams, run_hotspot_load
 from .ext_naming import run_band_placement
 from .ext_overlay_choice import run_ipv6_route_optimisation, run_overlay_choice
 from .ext_proximity import run_proximity_routing
-from .ext_scaling import ColumnarScaleParams, run_columnar_scale, run_scaling
+from .ext_scaling import (
+    ColumnarScaleParams,
+    TrafficMixScaleParams,
+    run_columnar_scale,
+    run_scaling,
+    run_traffic_mix,
+)
 from .ext_reliability import run_adaptive_routing_reliability, run_replication_reliability
 from .fig3_responsibility import run_fig3, run_fig3_empirical, run_fig3_tree_sizes
 from .fig7_naming import Fig7Params, run_fig7
@@ -124,6 +130,18 @@ def _ext_scale_columnar(scale: str) -> ResultTable:
     return run_columnar_scale()
 
 
+def _ext_scale_traffic(scale: str) -> ResultTable:
+    if scale == "paper":
+        return run_traffic_mix(
+            TrafficMixScaleParams(
+                num_stationary=100_000, num_mobile=40_000, lookups=50_000, shards=8
+            )
+        )
+    if scale == "quick":
+        return run_traffic_mix(TrafficMixScaleParams.quick_scale())
+    return run_traffic_mix()
+
+
 def _ext_hotspot(scale: str) -> ResultTable:
     if scale == "paper":
         return run_hotspot_load(
@@ -215,6 +233,10 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[str], ResultTable]]] = {
     "ext-scale-columnar": (
         "Extension — columnar engine scale scenario, keyspace-sharded",
         _ext_scale_columnar,
+    ),
+    "ext-scale-traffic": (
+        "Extension — Zipf traffic mix on the columnar LDT forest",
+        _ext_scale_traffic,
     ),
 }
 

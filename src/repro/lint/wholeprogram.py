@@ -51,6 +51,14 @@ _RNG_MODULE = ("repro", "sim", "rng")
 _METRICS_MODULE = ("repro", "sim", "metrics")
 _COLUMNAR_MODULE = ("repro", "sim", "columnar")
 
+#: All struct-of-arrays kernel modules (the BRS013 mutation scope): the
+#: OWNED_COLUMNS registry lives in :data:`_COLUMNAR_MODULE`, but the LDT
+#: forest builder owns tree columns of its own and may mutate them too.
+_COLUMNAR_KERNEL_MODULES = (
+    _COLUMNAR_MODULE,
+    ("repro", "core", "ldt_forest"),
+)
+
 #: Virtual-time packages (the BRS002 scope) and their allow-listed
 #: wall-clock modules, mirrored from the per-file rules.
 _VIRTUAL_TIME_PACKAGES = ("core", "overlay", "experiments")
@@ -486,20 +494,21 @@ class MetricNameConsistency(ProjectRule):
 # ----------------------------------------------------------------------
 #: Receiver-name tokens that mark an expression as a columnar table even
 #: when the constructor binding is out of view (attributes passed around).
-_COLUMNAR_BASE_TOKENS = ("store", "columns", "cols")
+_COLUMNAR_BASE_TOKENS = ("store", "columns", "cols", "forest")
 
 
 class ColumnarOwnership(ProjectRule):
     """BRS013: the numpy columns owned by ``repro.sim.columnar``
-    (``OWNED_COLUMNS``) may only be mutated inside the kernel module;
-    everything else must go through its batch-mutation API."""
+    (``OWNED_COLUMNS``) may only be mutated inside the kernel modules
+    (:data:`_COLUMNAR_KERNEL_MODULES`); everything else must go through
+    their batch-mutation APIs."""
 
     code = "BRS013"
     name = "columnar-ownership"
     summary = (
         "numpy columns owned by repro.sim.columnar (OWNED_COLUMNS) may "
-        "only be mutated inside the kernel module — use the batch "
-        "mutation API (upsert/remove/expire) elsewhere"
+        "only be mutated inside the kernel modules — use the batch "
+        "mutation API (upsert/remove/expire, build_ldt_forest) elsewhere"
     )
 
     def check_project(
@@ -520,7 +529,7 @@ class ColumnarOwnership(ProjectRule):
             return
         owned = {str(c) for c in registry["value"]}  # type: ignore[union-attr]
         for facts in project.modules.values():
-            if facts.module == _COLUMNAR_MODULE:
+            if facts.module in _COLUMNAR_KERNEL_MODULES:
                 continue
             bases = tuple(facts.columnar_bases)
             for store in facts.attr_stores:

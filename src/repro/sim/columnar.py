@@ -46,6 +46,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import sanitize as _sanitize
+from ..core.ldt_forest import build_forest_columns, forest_depths, forest_from_columns
 from .rng import derive_seed
 
 __all__ = [
@@ -61,7 +62,9 @@ __all__ = [
     "OWNED_COLUMNS",
     "ScaleShardParams",
     "ScaleShardResult",
+    "TrafficMixParams",
     "run_scale_shard",
+    "run_traffic_shard",
     "merge_shard_results",
     "snapshot_checksum",
 ]
@@ -91,6 +94,15 @@ OWNED_COLUMNS = (
     "key",
     "refreshed",
     "capacity",
+    # LDT forest columns (repro.core.ldt_forest — the other columnar
+    # kernel module): level-synchronous build invariants only hold when
+    # these are written by build_forest_columns/build_ldt_forest.
+    "tree_id",
+    "tree_offsets",
+    "parent",
+    "parent_row",
+    "level",
+    "assigned",
 )
 
 _U64 = np.uint64
@@ -857,9 +869,11 @@ def run_scale_shard(p: ScaleShardParams) -> ScaleShardResult:
 
     Per round: a one-pass TTL expiry sweep, a batched republish of every
     mobile key whose (key-hashed) schedule says it moves, a batched
-    withdrawal of leaving keys, the Fig-4 advertisement fanout of the
-    movers (closed-form kernel), and this shard's slice of the global
-    lookup stream resolved in one kernel call.
+    withdrawal of leaving keys, the Fig-4 advertisement trees of the
+    movers materialised as one columnar forest
+    (:func:`repro.core.ldt_forest.build_forest_columns`), and this
+    shard's slice of the global lookup stream resolved in one kernel
+    call.
     """
     if not 0 <= p.shard < p.shards:
         raise ValueError("shard index out of range")
@@ -907,8 +921,10 @@ def run_scale_shard(p: ScaleShardParams) -> ScaleShardResult:
         "lookups": 0,
         "hits": 0,
         "replica_messages": 0,
+        "ldt_trees": 0,
         "ldt_messages": 0,
         "ldt_depth_sum": 0,
+        "multicast_deliveries": 0,
     }
 
     def publish_batch(batch: np.ndarray, now: float, epoch_val: int) -> None:
@@ -951,12 +967,32 @@ def run_scale_shard(p: ScaleShardParams) -> ScaleShardResult:
         move_keys = keys[movers]
         publish_batch(move_keys, now, r + 1)
         if move_keys.size:
+            # Materialised columnar LDTs (one forest per move batch): the
+            # uniform-capacity registries of the scale scenario keep the
+            # closed-form ``ldt_fanout`` as a parity oracle — messages are
+            # always R and the forest's depths match it bit-identically.
             hc = mix64(move_keys, derive_seed(p.seed, "scale|caps"))
-            caps = ((hc % _U64(15)) + _U64(1)).astype(_I64)
+            caps = ((hc % _U64(15)) + _U64(1)).astype(_F64)
             sizes = np.full(move_keys.size, p.registry_size, dtype=_I64)
-            msgs, depth = ldt_fanout(sizes, caps, caps)
-            stats["ldt_messages"] += int(msgs.sum())
-            stats["ldt_depth_sum"] += int(depth.sum())
+            offsets = np.zeros(move_keys.size + 1, dtype=_I64)
+            np.cumsum(sizes, out=offsets[1:])
+            member_avail = np.repeat(caps, sizes)
+            unit = np.ones(move_keys.size, dtype=_F64)
+            level, assigned, parent_row = build_forest_columns(
+                offsets, member_avail, caps, unit
+            )
+            stats["ldt_trees"] += int(move_keys.size)
+            stats["ldt_messages"] += int(sizes.sum())
+            stats["ldt_depth_sum"] += int(forest_depths(offsets, level).sum())
+            # Every member receives the advertisement exactly once.
+            stats["multicast_deliveries"] += int(level.size)
+            if _sanitize.ACTIVE:
+                _sanitize.check_ldt_forest(
+                    forest_from_columns(
+                        offsets, member_avail, caps, unit,
+                        level, assigned, parent_row,
+                    )
+                )
 
         in_round = lookup_round == r
         q = target_keys[lk_mine & in_round]
@@ -964,6 +1000,186 @@ def run_scale_shard(p: ScaleShardParams) -> ScaleShardResult:
             hit, _, _, _ = directory.resolve_array(q, now + p.round_dt / 2.0)
             stats["lookups"] += int(q.size)
             stats["hits"] += int(hit.sum())
+
+    return ScaleShardResult(stats=stats, rows=directory.store.snapshot_rows())
+
+
+@dataclasses.dataclass(frozen=True)
+class TrafficMixParams:
+    """One keyspace shard of the Zipf-skewed traffic-mix scenario.
+
+    The heavy-traffic companion of :class:`ScaleShardParams`: key
+    popularity follows a Zipf law (rank hashed from the key population,
+    exponent ``zipf_s``), the *lookup* stream draws targets by popularity
+    weight, and *advertisement* load skews the same way — a key's
+    registry size shrinks with its popularity rank between
+    ``max_registry`` (rank 0) and ``min_registry`` (the tail), and every
+    mover's LDT is materialised through the columnar forest builder with
+    per-member hashed capacities.  All randomness is a pure function of
+    ``(key, seed)`` or a globally-replayed stream, so any shard partition
+    merges bit-identically to the serial run.
+    """
+
+    num_stationary: int
+    num_mobile: int
+    lookups: int
+    rounds: int
+    shard: int
+    shards: int
+    seed: int
+    key_bits: int = 32
+    replication: int = 3
+    base_ttl: float = 60.0
+    round_dt: float = 25.0
+    zipf_s: float = 1.1
+    min_registry: int = 4
+    max_registry: int = 64
+
+
+def run_traffic_shard(p: TrafficMixParams) -> ScaleShardResult:
+    """Run one keyspace shard of the Zipf traffic mix, fully vectorised.
+
+    Per round: TTL expiry, batched republish of the movers, one columnar
+    forest build over the movers' skew-sized registries (the multicast
+    wave — every member row is one delivery), and this shard's slice of
+    the popularity-weighted lookup stream.
+    """
+    if not 0 <= p.shard < p.shards:
+        raise ValueError("shard index out of range")
+    from ..overlay.keyspace import KeySpace
+
+    digit_bits = 4 if p.key_bits % 4 == 0 else 1
+    space = KeySpace(bits=p.key_bits, digit_bits=digit_bits)
+    stationary = _draw_unique_keys(
+        p.seed, "traffic|stationary", p.num_stationary, p.key_bits
+    )
+    mobile = _draw_unique_keys(p.seed, "traffic|mobile", p.num_mobile, p.key_bits)
+
+    pos = np.searchsorted(stationary, mobile) % p.num_stationary
+    shard_of = (pos.astype(_I64) * p.shards) // p.num_stationary
+    mine = shard_of == p.shard
+    keys = mobile[mine]
+
+    # Popularity: rank 0 is the hottest key.  The rank permutation is
+    # hashed from the key population itself, so it is shard-invariant.
+    rank = np.empty(p.num_mobile, dtype=_I64)
+    rank[np.argsort(mix64(mobile, derive_seed(p.seed, "traffic|rank")), kind="stable")] = (
+        np.arange(p.num_mobile, dtype=_I64)
+    )
+    # Advertisement skew: popular keys accumulate more interested nodes.
+    registry_sizes = np.maximum(
+        np.int64(p.min_registry),
+        (p.max_registry / np.sqrt(rank + 1.0)).astype(_I64),
+    )
+    reg_sizes = registry_sizes[mine]
+
+    directory = ColumnarDirectory(
+        space, stationary_keys=stationary, replication=p.replication
+    )
+
+    h_move = mix64(keys, derive_seed(p.seed, "traffic|moves"))
+    h_attr = mix64(keys, derive_seed(p.seed, "traffic|attrs"))
+    ttl = p.base_ttl * (1.0 + (h_attr >> _U64(16)) % _U64(3)).astype(_F64) / 2.0
+
+    # Lookup skew: the global stream draws targets Zipf(s) by rank.
+    weights = (rank.astype(_F64) + 1.0) ** (-p.zipf_s)
+    weights /= weights.sum()
+    lgen = np.random.default_rng(derive_seed(p.seed, "traffic|lookups"))
+    target_idx = lgen.choice(p.num_mobile, size=p.lookups, p=weights)
+    lookup_round = (np.arange(p.lookups, dtype=_I64) * p.rounds) // max(p.lookups, 1)
+    target_keys = mobile[target_idx]
+    lk_mine = shard_of[target_idx] == p.shard
+
+    stats = {
+        "keys": int(keys.size),
+        "published": 0,
+        "expired": 0,
+        "lookups": 0,
+        "hits": 0,
+        "hot_lookups": 0,
+        "replica_messages": 0,
+        "ldt_trees": 0,
+        "ldt_messages": 0,
+        "ldt_depth_sum": 0,
+        "multicast_deliveries": 0,
+    }
+    # Hot-set accounting: lookups landing on the top 1% of ranks.
+    hot_cut = max(p.num_mobile // 100, 1)
+
+    def publish_batch(batch: np.ndarray, now: float, epoch_val: int) -> None:
+        if not batch.size:
+            return
+        hb = mix64(batch, derive_seed(p.seed, "traffic|addr"))
+        mat, count = directory.holders_matrix(batch)
+        directory.store.upsert(
+            keys=batch,
+            router=(hb & _U64(0xFFFF)).astype(_I64),
+            port=((hb >> _U64(16)) & _U64(0xFFFF)).astype(_I64),
+            epoch=np.full(batch.size, epoch_val, dtype=_I64),
+            published=np.full(batch.size, now, dtype=_F64),
+            ttl=ttl[np.searchsorted(keys, batch)],
+            holders=mat,
+            holder_count=np.full(batch.size, count, dtype=_I64),
+        )
+        directory.publish_count += int(batch.size)
+        stats["published"] += int(batch.size)
+        stats["replica_messages"] += int(batch.size) * count
+
+    def advertise_batch(batch: np.ndarray) -> None:
+        """Materialise the movers' LDTs as one columnar forest."""
+        if not batch.size:
+            return
+        sz = reg_sizes[np.searchsorted(keys, batch)]
+        offsets = np.zeros(batch.size + 1, dtype=_I64)
+        np.cumsum(sz, out=offsets[1:])
+        total = int(offsets[-1])
+        base = mix64(batch, derive_seed(p.seed, "traffic|members"))
+        with np.errstate(over="ignore"):
+            member_slot = (
+                np.repeat(base, sz)
+                + np.arange(total, dtype=_U64)
+                - np.repeat(offsets[:-1].astype(_U64), sz)
+            )
+        hm = mix64(member_slot, derive_seed(p.seed, "traffic|mcaps"))
+        member_avail = ((hm % _U64(15)) + _U64(1)).astype(_F64)
+        hr = mix64(batch, derive_seed(p.seed, "traffic|caps"))
+        root_avail = ((hr % _U64(15)) + _U64(1)).astype(_F64)
+        unit = np.ones(batch.size, dtype=_F64)
+        level, assigned, parent_row = build_forest_columns(
+            offsets, member_avail, root_avail, unit
+        )
+        stats["ldt_trees"] += int(batch.size)
+        stats["ldt_messages"] += total
+        stats["ldt_depth_sum"] += int(forest_depths(offsets, level).sum())
+        stats["multicast_deliveries"] += total
+        if _sanitize.ACTIVE:
+            _sanitize.check_ldt_forest(
+                forest_from_columns(
+                    offsets, member_avail, root_avail, unit,
+                    level, assigned, parent_row,
+                )
+            )
+
+    publish_batch(keys, 0.0, 0)
+    advertise_batch(keys)
+
+    for r in range(p.rounds):
+        now = (r + 1) * p.round_dt
+        stats["expired"] += len(directory.expire_leases(now))
+
+        movers = ((h_move >> _U64(r % 64)) & _U64(1)).astype(bool)
+        move_keys = keys[movers]
+        publish_batch(move_keys, now, r + 1)
+        advertise_batch(move_keys)
+
+        in_round = lookup_round == r
+        q_idx = target_idx[lk_mine & in_round]
+        if q_idx.size:
+            q = mobile[q_idx]
+            hit, _, _, _ = directory.resolve_array(q, now + p.round_dt / 2.0)
+            stats["lookups"] += int(q_idx.size)
+            stats["hits"] += int(hit.sum())
+            stats["hot_lookups"] += int((rank[q_idx] < hot_cut).sum())
 
     return ScaleShardResult(stats=stats, rows=directory.store.snapshot_rows())
 

@@ -40,7 +40,9 @@ from repro.sim.columnar import (
     replica_offsets,
     ring_nearest,
     run_scale_shard,
+    run_traffic_shard,
     snapshot_checksum,
+    TrafficMixParams,
 )
 from repro.sim.telemetry import Telemetry
 
@@ -324,6 +326,63 @@ class TestShardedScale:
     def test_shard_index_validated(self):
         with pytest.raises(ValueError):
             run_scale_shard(ScaleShardParams(shard=4, shards=4, **self.PARAMS))
+
+
+# ----------------------------------------------------------------------
+# Zipf traffic mix on the columnar LDT forest
+# ----------------------------------------------------------------------
+class TestTrafficMix:
+    PARAMS = dict(num_stationary=700, num_mobile=320, lookups=500, rounds=5, seed=31)
+
+    def _run(self, shards: int):
+        results = [
+            run_traffic_shard(
+                TrafficMixParams(shard=s, shards=shards, **self.PARAMS)
+            )
+            for s in range(shards)
+        ]
+        return merge_shard_results(results)
+
+    def test_sharded_bit_identical_to_serial(self):
+        serial = self._run(1)
+        for shards in (2, 4, 7):
+            assert self._run(shards) == serial
+
+    def test_forest_stats_populated(self):
+        stats, _, _ = self._run(3)
+        assert stats["keys"] == self.PARAMS["num_mobile"]
+        assert stats["ldt_trees"] > 0
+        # One advertisement message == one multicast delivery per member.
+        assert stats["multicast_deliveries"] == stats["ldt_messages"]
+        assert stats["ldt_depth_sum"] >= stats["ldt_trees"]
+
+    def test_zipf_skew_concentrates_lookups(self):
+        stats, _, _ = self._run(1)
+        assert stats["lookups"] == self.PARAMS["lookups"]
+        # The top 1% of ranks draw far more than a uniform 1% share.
+        assert stats["hot_lookups"] / stats["lookups"] > 0.10
+
+    def test_experiment_table_jobs_invariant(self):
+        from repro.experiments.ext_scaling import (
+            TrafficMixScaleParams,
+            run_traffic_mix,
+        )
+        from repro.experiments.parallel import SweepConfig, sweep_session
+
+        base = TrafficMixScaleParams(
+            num_stationary=700, num_mobile=320, lookups=500, rounds=5, shards=3
+        )
+        rows = []
+        for jobs in (1, 3):
+            with sweep_session(SweepConfig(jobs=jobs)):
+                rows.append(dict(run_traffic_mix(base).rows[0]))
+        assert rows[0] == rows[1]
+
+    def test_shard_index_validated(self):
+        with pytest.raises(ValueError):
+            run_traffic_shard(
+                TrafficMixParams(shard=3, shards=3, **self.PARAMS)
+            )
 
 
 # ----------------------------------------------------------------------

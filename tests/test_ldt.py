@@ -118,6 +118,42 @@ class TestLevelsAndCosts:
         assert len(costs) == tree.message_count
         assert tree.total_cost(dist) == pytest.approx(sum(costs))
 
+    def test_edge_costs_batched_oracle_matches_scalar(self):
+        """A distance object with ``route_costs`` takes the batched path
+        and must agree with the scalar-callable fallback edge for edge."""
+
+        class BatchedDist:
+            def __call__(self, a, b):
+                return abs(a - b) * 10.0
+
+            def route_costs(self, pairs):
+                return [abs(a - b) * 10.0 for a, b in pairs]
+
+        tree = build_ldt(LDTMember(0, 3.0), members([3, 1, 4, 1, 5]))
+        scalar = tree.edge_costs(lambda a, b: abs(a - b) * 10.0)
+        batched = tree.edge_costs(BatchedDist())
+        assert batched == pytest.approx(scalar)
+        assert tree.total_cost(BatchedDist()) == pytest.approx(sum(scalar))
+
+    def test_edge_costs_empty_tree(self):
+        tree = build_ldt(LDTMember(0, 4.0), [])
+        assert tree.edge_costs(lambda a, b: 1.0) == []
+        assert tree.total_cost(lambda a, b: 1.0) == 0.0
+
+    def test_level_histogram_matches_manual_count(self):
+        tree = build_ldt(LDTMember(0, 2.0), members([1, 2, 3, 4, 5, 6, 7]))
+        manual = {}
+        for node in tree.nodes.values():
+            if node.level > 0:
+                manual[node.level] = manual.get(node.level, 0) + 1
+        assert tree.level_histogram() == manual
+
+    def test_depth_and_message_count_cached(self):
+        tree = build_ldt(LDTMember(0, 3.0), members([2] * 9))
+        d1, m1 = tree.depth, tree.message_count
+        assert tree.depth == d1 and tree.message_count == m1
+        assert "depth" in tree._cache and "messages" in tree._cache
+
     def test_tie_break_changes_order(self):
         """Equal capacities: the tie-break callable decides head choice."""
         regs = members([2, 2, 2, 2])
